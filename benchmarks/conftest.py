@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure from DESIGN.md's
+experiment index.  Tables are written to ``benchmarks/results/*.txt``
+(so they survive pytest's output capture) and echoed to the real
+stdout for interactive runs.
+"""
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_table(name: str, text: str) -> None:
+    """Persist a result table and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    real_stdout = getattr(sys, "__stdout__", sys.stdout)
+    print(f"\n{text}\n[saved to {path}]", file=real_stdout, flush=True)

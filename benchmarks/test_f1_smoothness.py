@@ -1,0 +1,64 @@
+"""F1 — throughput smoothness: TFRC vs TCP (paper §2/§3 motivation).
+
+Regenerates the classic time-series comparison: one measured flow
+against a TCP competitor on a RED bottleneck; the figure's signal is
+the coefficient of variation of the per-200-ms throughput series.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import smoothness_scenario
+from repro.harness.tables import format_table
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        (proto, seed): smoothness_scenario(proto, duration=80, warmup=20, seed=seed)
+        for proto in ("tfrc", "tcp")
+        for seed in SEEDS
+    }
+
+
+def test_f1_table(runs, benchmark):
+    rows = []
+    for proto in ("tfrc", "tcp"):
+        for seed in SEEDS:
+            r = runs[(proto, seed)]
+            rows.append([proto, seed, r.mean_bps / 1e6, r.cov])
+    mean_cov = {
+        proto: sum(runs[(proto, s)].cov for s in SEEDS) / len(SEEDS)
+        for proto in ("tfrc", "tcp")
+    }
+    rows.append(["tfrc", "mean", "", mean_cov["tfrc"]])
+    rows.append(["tcp", "mean", "", mean_cov["tcp"]])
+    emit_table(
+        "f1_smoothness",
+        format_table(
+            ["protocol", "seed", "mean rate (Mb/s)", "CoV (200 ms bins)"],
+            rows,
+            title="F1: throughput smoothness vs one TCP competitor "
+                  "(4 Mb/s RED bottleneck)",
+        ),
+    )
+    benchmark.pedantic(
+        smoothness_scenario,
+        args=("tfrc",),
+        kwargs=dict(duration=20, warmup=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_f1_tfrc_smoother_on_every_seed(runs):
+    for seed in SEEDS:
+        assert runs[("tfrc", seed)].cov < runs[("tcp", seed)].cov
+
+
+def test_f1_comparable_mean_rates(runs):
+    for seed in SEEDS:
+        tfrc, tcp = runs[("tfrc", seed)], runs[("tcp", seed)]
+        assert tfrc.mean_bps > 0.3 * tcp.mean_bps

@@ -1,0 +1,80 @@
+"""F2 — lossy multi-hop paths: TCP vs TFRC (paper §2, claim 1).
+
+Regenerates the goodput-vs-loss-rate figure over a 3-hop chain whose
+hops carry independent Gilbert–Elliott bursty loss (the vehicular /
+ad-hoc regime of refs [1] and [9]).  Expected shape: comparable at low
+loss; TFRC increasingly ahead as loss grows (TCP melts down to RTO
+backoff under loss bursts).  A Bernoulli column is included to show
+that the advantage is specific to bursty loss.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import lossy_path_scenario
+from repro.harness.tables import format_table
+
+LOSS_RATES = (0.005, 0.01, 0.02, 0.05, 0.08)
+CONFIG = dict(n_hops=3, duration=40.0, warmup=10.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for loss in LOSS_RATES:
+        for proto in ("tcp", "tfrc"):
+            for bursty in (True, False):
+                out[(loss, proto, bursty)] = lossy_path_scenario(
+                    proto, loss, bursty=bursty, **CONFIG
+                )
+    return out
+
+
+def test_f2_table(sweep, benchmark):
+    rows = []
+    for loss in LOSS_RATES:
+        tcp_b = sweep[(loss, "tcp", True)].goodput_bps
+        tfrc_b = sweep[(loss, "tfrc", True)].goodput_bps
+        tcp_u = sweep[(loss, "tcp", False)].goodput_bps
+        tfrc_u = sweep[(loss, "tfrc", False)].goodput_bps
+        rows.append(
+            [
+                f"{loss * 100:.1f}%",
+                tcp_b / 1e3,
+                tfrc_b / 1e3,
+                tfrc_b / max(tcp_b, 1e3),
+                tcp_u / 1e3,
+                tfrc_u / 1e3,
+            ]
+        )
+    emit_table(
+        "f2_wireless",
+        format_table(
+            ["loss", "tcp bursty (kb/s)", "tfrc bursty (kb/s)",
+             "tfrc/tcp (bursty)", "tcp iid (kb/s)", "tfrc iid (kb/s)"],
+            rows,
+            title="F2: goodput over a 3-hop 2 Mb/s chain with per-hop loss",
+        ),
+    )
+    benchmark.pedantic(
+        lossy_path_scenario,
+        args=("tfrc", 0.02),
+        kwargs=dict(bursty=True, duration=10.0, warmup=2.0, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_f2_tfrc_ahead_under_bursty_loss(sweep):
+    for loss in LOSS_RATES[2:]:
+        tcp = sweep[(loss, "tcp", True)].goodput_bps
+        tfrc = sweep[(loss, "tfrc", True)].goodput_bps
+        assert tfrc > tcp, loss
+
+
+def test_f2_advantage_grows_with_loss(sweep):
+    def ratio(loss):
+        tcp = sweep[(loss, "tcp", True)].goodput_bps
+        return sweep[(loss, "tfrc", True)].goodput_bps / max(tcp, 1e3)
+
+    assert ratio(LOSS_RATES[-1]) > ratio(LOSS_RATES[0])

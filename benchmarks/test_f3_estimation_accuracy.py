@@ -1,0 +1,64 @@
+"""F3 — sender-side vs receiver-side loss estimation (paper §3).
+
+Regenerates the accuracy figure behind QTPlight: on one packet stream,
+the sender's SACK-reconstructed loss event rate against a shadow
+RFC 3448 receiver-side estimator, across channel loss rates.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import estimation_accuracy_scenario
+from repro.harness.tables import format_table
+
+LOSS_RATES = (0.005, 0.01, 0.02, 0.04, 0.08)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        loss: estimation_accuracy_scenario(loss, duration=50.0, warmup=10.0, seed=2)
+        for loss in LOSS_RATES
+    }
+
+
+def test_f3_table(sweep, benchmark):
+    rows = []
+    for loss in LOSS_RATES:
+        r = sweep[loss]
+        rows.append(
+            [
+                f"{loss * 100:.1f}%",
+                r.mean_p_shadow,
+                r.mean_p_sender,
+                r.mean_abs_rel_error,
+                r.goodput_bps / 1e3,
+            ]
+        )
+    emit_table(
+        "f3_estimation_accuracy",
+        format_table(
+            ["channel loss", "p receiver-side", "p sender-side",
+             "mean |rel err|", "goodput (kb/s)"],
+            rows,
+            title="F3: QTPlight sender-side loss-event rate vs shadow "
+                  "RFC 3448 receiver estimate",
+        ),
+    )
+    benchmark.pedantic(
+        estimation_accuracy_scenario,
+        args=(0.02,),
+        kwargs=dict(duration=15.0, warmup=3.0, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_f3_agreement_within_ten_percent(sweep):
+    for loss in LOSS_RATES[1:]:
+        assert sweep[loss].mean_abs_rel_error < 0.10, loss
+
+
+def test_f3_estimates_track_channel(sweep):
+    for loss in (0.02, 0.04, 0.08):
+        assert sweep[loss].mean_p_sender == pytest.approx(loss, rel=0.5)

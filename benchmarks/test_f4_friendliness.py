@@ -1,0 +1,57 @@
+"""F4 — TCP-friendliness of TFRC (paper §2).
+
+Regenerates the sharing figure: one TFRC flow against N TCP flows on an
+8 Mb/s RED bottleneck.  The normalized throughput (TFRC rate over the
+mean TCP rate) should stay within the conventional [0.5, 2] friendliness
+band across N, with a high Jain index.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import friendliness_scenario
+from repro.harness.tables import format_table
+
+N_TCP = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        n: friendliness_scenario(n, duration=60.0, warmup=15.0, seed=2)
+        for n in N_TCP
+    }
+
+
+def test_f4_table(sweep, benchmark):
+    rows = []
+    for n in N_TCP:
+        r = sweep[n]
+        rows.append(
+            [n, r.tfrc_bps / 1e6, r.tcp_mean_bps / 1e6, r.normalized, r.jain]
+        )
+    emit_table(
+        "f4_friendliness",
+        format_table(
+            ["n tcp", "tfrc (Mb/s)", "tcp mean (Mb/s)", "normalized", "jain"],
+            rows,
+            title="F4: one TFRC vs N TCP on an 8 Mb/s RED bottleneck",
+        ),
+    )
+    benchmark.pedantic(
+        friendliness_scenario,
+        args=(2,),
+        kwargs=dict(duration=15.0, warmup=5.0, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_f4_friendliness_band(sweep):
+    for n in N_TCP:
+        assert 0.4 <= sweep[n].normalized <= 2.0, n
+
+
+def test_f4_jain_high(sweep):
+    for n in N_TCP:
+        assert sweep[n].jain > 0.85, n

@@ -1,0 +1,85 @@
+"""T1 — AF bandwidth assurance (paper §4).
+
+Regenerates the paper's central comparison: an assured flow with an AF
+reservation ``g`` against 8 greedy best-effort TCP flows on a 10 Mbit/s
+RIO bottleneck (assured-flow RTT ≈ 240 ms, the regime where the
+Seddigh-style TCP failure appears).  Expected shape: TCP's
+achieved/target ratio well below 1 and falling as ``g`` grows; plain
+TFRC in between; gTFRC and QTPAF pinned at ≈ 1.0 with zero in-profile
+drops.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import af_dumbbell_scenario
+from repro.harness.tables import format_table
+
+PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+TARGETS = (2e6, 4e6, 6e6, 8e6)
+CONFIG = dict(n_cross=8, assured_access_delay=0.1, duration=40.0, warmup=10.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for target in TARGETS:
+        for proto in PROTOCOLS:
+            results[(target, proto)] = af_dumbbell_scenario(
+                proto, target_bps=target, **CONFIG
+            )
+    return results
+
+
+def test_t1_table(sweep, benchmark):
+    rows = []
+    for target in TARGETS:
+        for proto in PROTOCOLS:
+            r = sweep[(target, proto)]
+            rows.append(
+                [
+                    f"{target / 1e6:.0f}",
+                    proto,
+                    r.achieved_bps / 1e6,
+                    r.ratio,
+                    r.green_drop_ratio,
+                    r.out_drop_ratio,
+                    r.cross_total_bps / 1e6,
+                ]
+            )
+    emit_table(
+        "t1_af_assurance",
+        format_table(
+            ["g (Mb/s)", "protocol", "achieved (Mb/s)", "ratio",
+             "green drop", "out drop", "cross (Mb/s)"],
+            rows,
+            title="T1: AF bandwidth assurance "
+                  "(10 Mb/s RIO, 8 TCP cross, assured RTT ~240 ms)",
+        ),
+    )
+    benchmark.pedantic(
+        af_dumbbell_scenario,
+        args=("qtpaf",),
+        kwargs=dict(target_bps=4e6, n_cross=4, duration=10.0, warmup=2.0, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t1_tcp_fails_increasingly(sweep):
+    ratios = [sweep[(t, "tcp")].ratio for t in TARGETS]
+    assert ratios[-1] < 0.8
+    assert ratios[-1] < ratios[0]
+
+
+def test_t1_qtpaf_holds_every_target(sweep):
+    for target in TARGETS:
+        assert sweep[(target, "qtpaf")].ratio >= 0.9, target
+
+
+def test_t1_ordering_tcp_tfrc_gtfrc(sweep):
+    for target in TARGETS[2:]:  # the discriminating high-target cells
+        tcp = sweep[(target, "tcp")].ratio
+        tfrc = sweep[(target, "tfrc")].ratio
+        qtpaf = sweep[(target, "qtpaf")].ratio
+        assert tcp < qtpaf and tfrc < qtpaf

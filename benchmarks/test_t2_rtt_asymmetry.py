@@ -1,0 +1,63 @@
+"""T2 — AF assurance vs RTT asymmetry (paper §4 / Seddigh et al.).
+
+The TCP bandwidth-assurance failure is RTT-dependent: the longer the
+assured flow's RTT relative to the cross traffic, the further TCP falls
+below its reservation, while QTPAF stays pinned.  This regenerates the
+achieved/target matrix over the assured flow's access delay.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import af_dumbbell_scenario
+from repro.harness.tables import format_table
+
+ACCESS_DELAYS = (0.002, 0.03, 0.06, 0.1)  # one-way; RTT ~= 4x + 40 ms
+PROTOCOLS = ("tcp", "qtpaf")
+CONFIG = dict(target_bps=5e6, n_cross=8, duration=40.0, warmup=10.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (delay, proto): af_dumbbell_scenario(
+            proto, assured_access_delay=delay, **CONFIG
+        )
+        for delay in ACCESS_DELAYS
+        for proto in PROTOCOLS
+    }
+
+
+def test_t2_table(sweep, benchmark):
+    rows = []
+    for delay in ACCESS_DELAYS:
+        rtt_ms = (2 * (delay + 0.002) + 2 * 0.02) * 1e3
+        row = [f"{rtt_ms:.0f}"]
+        for proto in PROTOCOLS:
+            row.append(sweep[(delay, proto)].ratio)
+        rows.append(row)
+    emit_table(
+        "t2_rtt_asymmetry",
+        format_table(
+            ["assured RTT (ms)", "tcp ratio", "qtpaf ratio"],
+            rows,
+            title="T2: achieved/negotiated vs assured-flow RTT (g = 5 Mb/s)",
+        ),
+    )
+    benchmark.pedantic(
+        af_dumbbell_scenario,
+        args=("tcp",),
+        kwargs=dict(target_bps=5e6, n_cross=4, duration=10.0, warmup=2.0, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t2_tcp_degrades_with_rtt(sweep):
+    first = sweep[(ACCESS_DELAYS[0], "tcp")].ratio
+    last = sweep[(ACCESS_DELAYS[-1], "tcp")].ratio
+    assert last < first
+
+def test_t2_qtpaf_rtt_insensitive(sweep):
+    ratios = [sweep[(d, "qtpaf")].ratio for d in ACCESS_DELAYS]
+    assert min(ratios) >= 0.9

@@ -1,0 +1,109 @@
+"""T3 — receiver processing load (paper §3).
+
+Regenerates the QTPlight claim table: per-packet receiver operations
+and resident state for the three receiver compositions, across loss
+rates, plus where the work went (the sender-side estimator).  The
+pytest-benchmark micro-kernels time the exact per-packet code paths in
+wall-clock terms: the RFC 3448 loss-event machinery vs the QTPlight
+SACK bookkeeping.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit_table
+from repro.core.instances import QTPAF, QTPLIGHT, TFRC_MEDIA
+from repro.harness.scenarios import receiver_load_scenario
+from repro.harness.tables import format_table
+from repro.sack.blocks import ReceiverSackState
+from repro.tfrc.loss_history import LossEventEstimator
+
+PROFILES = (TFRC_MEDIA, QTPLIGHT, QTPAF(1e6))
+LOSS_RATES = (0.0, 0.02, 0.05)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (profile.name, loss): receiver_load_scenario(
+            profile, loss_rate=loss, duration=30.0, seed=2
+        )
+        for profile in PROFILES
+        for loss in LOSS_RATES
+    }
+
+
+def test_t3_table(sweep, benchmark):
+    rows = []
+    for profile in PROFILES:
+        for loss in LOSS_RATES:
+            r = sweep[(profile.name, loss)]
+            rows.append(
+                [
+                    profile.name,
+                    f"{loss * 100:.0f}%",
+                    r.packets,
+                    r.rx_ops_per_packet,
+                    r.rx_peak_bytes,
+                    r.tx_estimator_ops_per_packet,
+                    r.feedback_sent,
+                ]
+            )
+    emit_table(
+        "t3_receiver_load",
+        format_table(
+            ["profile", "loss", "pkts", "rx ops/pkt", "rx peak B",
+             "tx est ops/pkt", "reports"],
+            rows,
+            title="T3: receiver processing/memory load by composition",
+        ),
+    )
+
+    # micro-kernel: one simulated arrival stream through each receiver path
+    def loss_pattern(n, p, seed=7):
+        rng = random.Random(seed)
+        return [seq for seq in range(n) if rng.random() >= p]
+
+    seqs = loss_pattern(20_000, 0.02)
+
+    def rfc3448_receiver_path():
+        est = LossEventEstimator()
+        t = 0.0
+        for seq in seqs:
+            t += 0.001
+            est.on_packet(seq, t, 0.05)
+        return est.loss_event_rate()
+
+    benchmark(rfc3448_receiver_path)
+
+
+def test_t3_qtplight_kernel(benchmark):
+    rng = random.Random(7)
+    seqs = [seq for seq in range(20_000) if rng.random() >= 0.02]
+
+    def qtplight_receiver_path():
+        state = ReceiverSackState()
+        for i, seq in enumerate(seqs):
+            state.record(seq, 1000)
+            if i % 50 == 49:
+                # the sender's forward-ack floor passes abandoned holes
+                # about once per RTT, keeping the interval set tiny —
+                # mirror that here as the live protocol does
+                state.advance_floor(max(0, seq - 100))
+        return state.blocks(16)
+
+    benchmark(qtplight_receiver_path)
+
+
+def test_t3_receiver_load_ordering(sweep):
+    for loss in LOSS_RATES:
+        light = sweep[("QTPlight", loss)].rx_ops_per_packet
+        std = sweep[("TFRC", loss)].rx_ops_per_packet
+        full = sweep[("QTPAF", loss)].rx_ops_per_packet
+        assert light < std < full
+
+
+def test_t3_work_shifted_to_sender(sweep):
+    assert sweep[("QTPlight", 0.02)].tx_estimator_ops_per_packet > 0
+    assert sweep[("TFRC", 0.02)].tx_estimator_ops_per_packet == 0

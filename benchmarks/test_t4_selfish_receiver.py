@@ -1,0 +1,75 @@
+"""T4 — selfish receiver robustness (paper §3 / Georg & Gorinsky).
+
+Regenerates the 2x2 attack table: a (possibly lying) receiver sharing a
+4 Mb/s bottleneck with an honest TFRC flow.  Standard TFRC trusts the
+receiver-computed loss rate, so the lie doubles the cheater's share and
+starves the victim; QTPlight computes the loss rate at the sender and
+audits SACK coverage with never-sent sequence numbers, so the cheater
+is detected and throttled to the protocol floor.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.harness.scenarios import selfish_receiver_scenario
+from repro.harness.tables import format_table
+
+CONFIG = dict(duration=60.0, warmup=15.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {
+        (mode, lying): selfish_receiver_scenario(mode, lying, **CONFIG)
+        for mode in ("tfrc", "qtplight")
+        for lying in (False, True)
+    }
+
+
+def test_t4_table(matrix, benchmark):
+    rows = []
+    for mode in ("tfrc", "qtplight"):
+        honest = matrix[(mode, False)]
+        lying = matrix[(mode, True)]
+        rows.append(
+            [
+                mode,
+                honest.cheater_bps / 1e6,
+                lying.cheater_bps / 1e6,
+                lying.cheater_bps / max(honest.cheater_bps, 1.0),
+                honest.victim_bps / 1e6,
+                lying.victim_bps / 1e6,
+            ]
+        )
+    emit_table(
+        "t4_selfish_receiver",
+        format_table(
+            ["estimation", "cheater honest (Mb/s)", "cheater lying (Mb/s)",
+             "lying gain", "victim (honest run)", "victim (lying run)"],
+            rows,
+            title="T4: selfish-receiver attack, 4 Mb/s bottleneck shared "
+                  "with one honest TFRC",
+        ),
+    )
+    benchmark.pedantic(
+        selfish_receiver_scenario,
+        args=("qtplight", True),
+        kwargs=dict(duration=15.0, warmup=5.0, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t4_standard_tfrc_cheatable(matrix):
+    assert matrix[("tfrc", True)].cheater_bps > 1.5 * matrix[("tfrc", False)].cheater_bps
+
+
+def test_t4_qtplight_throttles_cheater(matrix):
+    assert matrix[("qtplight", True)].cheater_bps < 0.1 * (
+        matrix[("qtplight", False)].cheater_bps
+    )
+
+
+def test_t4_victim_protected_under_qtplight(matrix):
+    # with the cheater throttled, the honest victim keeps (at least) its share
+    assert matrix[("qtplight", True)].victim_bps >= matrix[("qtplight", False)].victim_bps

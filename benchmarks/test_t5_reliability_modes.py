@@ -1,0 +1,83 @@
+"""T5 — negotiable reliability over a media stream (paper §1, feature 1).
+
+Regenerates the reliability trade-off table: an MPEG-like 25 fps stream
+over a 3%-lossy link under the four negotiable modes.  The decisive
+column is ``useful`` — the fraction of sent messages that arrived
+*before their playout deadline*: NONE loses frames outright, FULL
+repairs them but late, and the partial modes give the best of both.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.core.profile import ReliabilityMode
+from repro.harness.scenarios import reliability_scenario
+from repro.harness.tables import format_table
+
+MODES = (
+    ReliabilityMode.NONE,
+    ReliabilityMode.PARTIAL_TIME,
+    ReliabilityMode.PARTIAL_COUNT,
+    ReliabilityMode.FULL,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        mode: reliability_scenario(mode, duration=60.0, seed=2) for mode in MODES
+    }
+
+
+def test_t5_table(sweep, benchmark):
+    rows = []
+    for mode in MODES:
+        r = sweep[mode]
+        rows.append(
+            [
+                r.mode,
+                r.sent,
+                r.delivered,
+                r.skipped,
+                r.retransmissions,
+                r.abandoned,
+                r.on_time_ratio,
+                r.useful_ratio,
+                r.mean_latency * 1e3,
+                r.p95_latency * 1e3,
+            ]
+        )
+    emit_table(
+        "t5_reliability_modes",
+        format_table(
+            ["mode", "sent", "delivered", "skipped", "retx", "abandoned",
+             "on-time", "useful", "mean lat (ms)", "p95 lat (ms)"],
+            rows,
+            title="T5: media stream (25 fps, 280 ms playout) over a 3% lossy "
+                  "link, by reliability mode",
+        ),
+    )
+    benchmark.pedantic(
+        reliability_scenario,
+        args=(ReliabilityMode.PARTIAL_TIME,),
+        kwargs=dict(duration=15.0, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t5_full_delivers_most(sweep):
+    assert sweep[ReliabilityMode.FULL].delivered >= sweep[ReliabilityMode.NONE].delivered
+
+
+def test_t5_latency_ordering(sweep):
+    assert (
+        sweep[ReliabilityMode.NONE].p95_latency
+        < sweep[ReliabilityMode.FULL].p95_latency
+    )
+
+
+def test_t5_partial_time_best_useful_ratio(sweep):
+    best = sweep[ReliabilityMode.PARTIAL_TIME].useful_ratio
+    assert best >= sweep[ReliabilityMode.NONE].useful_ratio - 0.01
+    assert best >= sweep[ReliabilityMode.FULL].useful_ratio - 0.01

@@ -1,0 +1,129 @@
+"""T6 — versatility: one stack, many negotiated instances (paper §1).
+
+Regenerates the negotiation matrix (which capability pairs produce
+which instance) and measures the cost of versatility itself: the time
+to negotiate and to compose a transport pair, and the wire handshake's
+one-round-trip establishment.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.core.connection import Initiator, Responder
+from repro.core.negotiation import CapabilitySet, NegotiationError, negotiate
+from repro.core.profile import (
+    CongestionControl,
+    LossEstimationSite,
+    ReliabilityMode,
+)
+from repro.core.instances import TFRC_MEDIA, build_transport_pair
+from repro.harness.tables import format_table
+from repro.sim.engine import Simulator
+from repro.sim.topology import dumbbell
+
+SCENARIOS = [
+    ("default/default", CapabilitySet(), CapabilitySet()),
+    (
+        "server/mobile",
+        CapabilitySet(),
+        CapabilitySet(light_receiver=True),
+    ),
+    (
+        "qos streaming",
+        CapabilitySet(
+            qos_target_bps=4e6,
+            reliability_modes=(ReliabilityMode.FULL,),
+            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
+        ),
+        CapabilitySet(
+            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
+            reliability_modes=(ReliabilityMode.FULL, ReliabilityMode.NONE),
+        ),
+    ),
+    (
+        "media/partial",
+        CapabilitySet(
+            reliability_modes=(ReliabilityMode.PARTIAL_TIME, ReliabilityMode.NONE)
+        ),
+        CapabilitySet(),
+    ),
+    (
+        "mobile+qos",
+        CapabilitySet(
+            qos_target_bps=2e6,
+            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
+        ),
+        CapabilitySet(
+            light_receiver=True,
+            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
+        ),
+    ),
+]
+
+
+def test_t6_matrix(benchmark):
+    rows = []
+    for label, initiator, responder in SCENARIOS:
+        try:
+            profile = negotiate(initiator, responder)
+            rows.append(
+                [
+                    label,
+                    profile.name,
+                    profile.congestion_control.value,
+                    profile.reliability.value,
+                    profile.loss_estimation.value,
+                ]
+            )
+        except NegotiationError as exc:  # pragma: no cover - none expected
+            rows.append([label, "FAILED", str(exc), "", ""])
+    emit_table(
+        "t6_negotiation",
+        format_table(
+            ["endpoints", "instance", "cc", "reliability", "estimation"],
+            rows,
+            title="T6: negotiated instance per capability pair",
+        ),
+    )
+    benchmark(negotiate, CapabilitySet(), CapabilitySet(light_receiver=True))
+
+
+def test_t6_composition_overhead(benchmark):
+    """Time to build a composed transport pair (the versatility tax)."""
+    sim = Simulator(seed=0)
+    d = dumbbell(sim, n_pairs=1)
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        flow = f"f{counter[0]}"
+        return build_transport_pair(
+            sim, d.net.node("s0"), d.net.node("d0"), flow, TFRC_MEDIA
+        )
+
+    benchmark(build)
+
+
+def test_t6_handshake_one_round_trip(benchmark):
+    """Wire-level establishment completes in ~1 RTT."""
+
+    def establish():
+        sim = Simulator(seed=1)
+        d = dumbbell(sim, n_pairs=1, bottleneck_rate=10e6,
+                     bottleneck_delay=0.02, access_delay=0.002)
+        done = {}
+        Responder(
+            sim, CapabilitySet(),
+            on_established=lambda rcv, prof: done.update(t=sim.now),
+        ).attach(d.net.node("d0"), "conn")
+        init = Initiator(sim, dst="d0", capabilities=CapabilitySet()).attach(
+            d.net.node("s0"), "conn"
+        )
+        init.start()
+        sim.run(until=2.0)
+        assert done, "handshake did not complete"
+        return done["t"]
+
+    establishment_time = benchmark(establish)
+    rtt = 2 * (0.02 + 2 * 0.002)
+    assert establishment_time <= 2 * rtt

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Selfish receivers vs QTPlight — the paper's §3 protection claim.
+
+Two flows share a 4 Mbit/s bottleneck.  The first flow's receiver
+cheats (reports zero loss, inflated receive rate, or fabricated SACK
+coverage); the second is an honest TFRC.  Under standard TFRC the
+cheater doubles its share and starves the victim; under QTPlight the
+sender computes the loss rate itself and audits SACK coverage with
+never-sent sequence numbers, so the cheater is caught and throttled.
+
+Run:  python examples/selfish_receiver.py
+"""
+
+from repro.harness.scenarios import selfish_receiver_scenario
+
+
+def main() -> None:
+    print(f"{'estimation':12s} {'receiver':9s} {'cheater':>9s} {'victim':>9s}")
+    for mode in ("tfrc", "qtplight"):
+        for lying in (False, True):
+            r = selfish_receiver_scenario(
+                mode, lying, duration=50.0, warmup=15.0, seed=2
+            )
+            who = "lying" if lying else "honest"
+            print(
+                f"{mode:12s} {who:9s} "
+                f"{r.cheater_bps / 1e6:6.2f} Mb/s {r.victim_bps / 1e6:6.2f} Mb/s"
+            )
+    print(
+        "\nStandard TFRC rewards the lie (cheater ~2x, victim starved);\n"
+        "QTPlight's sender-side estimation + audit skips detect the lie\n"
+        "and collapse the cheater to the protocol floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

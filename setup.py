@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path
+(``--no-use-pep517``) when PEP 660 builds are unavailable offline; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Receiver-side playout model for media workloads.
+
+Counts delivered messages against their deadlines: a frame fragment
+arriving after its playout instant is late (worthless to the decoder),
+no matter that the transport delivered it.  Used by the reliability
+experiments to show why *full* reliability is the wrong service for
+media and partial reliability the right one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.packet import Packet
+
+
+class PlayoutBuffer:
+    """Deadline bookkeeping for delivered application messages."""
+
+    def __init__(self) -> None:
+        self.on_time = 0
+        self.late = 0
+        self.no_deadline = 0
+        self.by_frame_type: Dict[str, Dict[str, int]] = {}
+
+    def deliver(self, packet: Packet, now: float) -> bool:
+        """Record a delivery; returns True when it met its deadline."""
+        app = packet.app
+        if app is None or app.deadline is None:
+            self.no_deadline += 1
+            return True
+        frame = app.frame_type or "?"
+        bucket = self.by_frame_type.setdefault(frame, {"on_time": 0, "late": 0})
+        if now <= app.deadline:
+            self.on_time += 1
+            bucket["on_time"] += 1
+            return True
+        self.late += 1
+        bucket["late"] += 1
+        return False
+
+    @property
+    def total(self) -> int:
+        """All deadline-bearing deliveries seen."""
+        return self.on_time + self.late
+
+    def on_time_ratio(self) -> float:
+        """Fraction of deadline-bearing deliveries that met the deadline."""
+        if self.total == 0:
+            return 1.0
+        return self.on_time / self.total

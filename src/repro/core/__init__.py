@@ -1,0 +1,50 @@
+"""The versatile transport protocol (the paper's primary contribution).
+
+A transport instance is *composed* from orthogonal components selected
+by a :class:`~repro.core.profile.TransportProfile`:
+
+* a congestion-control engine (TFRC, gTFRC, or a TCP-like window),
+* a reliability service over SACK (none / partial / full),
+* a loss-estimation site (receiver — stock RFC 3448 — or sender —
+  the QTPlight lightening),
+* an optional QoS binding (the AF SLA used by gTFRC).
+
+:mod:`repro.core.negotiation` implements the capability negotiation the
+paper calls for ("features to be negotiated between the transport
+entities"); :mod:`repro.core.instances` provides the two published
+instances, ``QTPAF`` and ``QTPLIGHT``, plus helper presets.
+"""
+
+from repro.core.profile import (
+    CongestionControl,
+    LossEstimationSite,
+    ReliabilityMode,
+    TransportProfile,
+)
+from repro.core.negotiation import CapabilitySet, NegotiationError, negotiate
+from repro.core.instances import (
+    QTPAF,
+    QTPLIGHT,
+    TCP_LIKE,
+    TFRC_MEDIA,
+    build_transport_pair,
+)
+from repro.core.sender import QtpSender
+from repro.core.receiver import QtpReceiver
+
+__all__ = [
+    "TransportProfile",
+    "CongestionControl",
+    "ReliabilityMode",
+    "LossEstimationSite",
+    "CapabilitySet",
+    "negotiate",
+    "NegotiationError",
+    "QTPAF",
+    "QTPLIGHT",
+    "TFRC_MEDIA",
+    "TCP_LIKE",
+    "QtpSender",
+    "QtpReceiver",
+    "build_transport_pair",
+]

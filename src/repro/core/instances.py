@@ -1,0 +1,137 @@
+"""The published protocol instances and a pair-construction helper.
+
+* :func:`QTPAF` — the QoS-aware reliable instance of the paper's §4:
+  gTFRC congestion control bound to an AF guarantee, composed with SACK
+  full reliability (a factory, because the guarantee ``g`` is part of
+  the instance).
+* :data:`QTPLIGHT` — the light-receiver instance of §3: TFRC whose
+  loss-event estimation runs at the sender, fed by SACK vectors.
+* :data:`QTPLIGHT_RELIABLE` — QTPlight plus the selective
+  retransmission the paper notes the SACK feedback enables.
+* :data:`TFRC_MEDIA` — stock RFC 3448 TFRC (the baseline composition).
+* :data:`TCP_LIKE` — a window-based fully reliable profile, realized by
+  the TCP baseline in :func:`build_transport_pair`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+from repro.core.profile import (
+    CongestionControl,
+    LossEstimationSite,
+    ReliabilityMode,
+    TransportProfile,
+)
+from repro.core.receiver import QtpReceiver
+from repro.core.sender import QtpSender
+from repro.metrics.cost import CostMeter
+from repro.metrics.recorder import FlowRecorder
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+
+def QTPAF(target_rate_bps: float, **overrides) -> TransportProfile:
+    """The QTPAF instance bound to an AF guarantee of ``target_rate_bps``.
+
+    gTFRC + SACK full reliability + receiver-side estimation — "the
+    first reliable transport protocol really adapted to carry
+    efficiently QoS traffic" (paper §4).
+    """
+    params = dict(
+        name="QTPAF",
+        congestion_control=CongestionControl.GTFRC,
+        reliability=ReliabilityMode.FULL,
+        loss_estimation=LossEstimationSite.RECEIVER,
+        target_rate_bps=target_rate_bps,
+    )
+    params.update(overrides)
+    return TransportProfile(**params)
+
+
+#: QTPlight (§3): stock-friendly TFRC rate control, loss estimation at
+#: the sender, O(1)-per-packet receiver.  No repair service.
+QTPLIGHT = TransportProfile(
+    name="QTPlight",
+    congestion_control=CongestionControl.TFRC,
+    reliability=ReliabilityMode.NONE,
+    loss_estimation=LossEstimationSite.SENDER,
+)
+
+#: QTPlight with the selective retransmission its SACK feedback enables
+#: (bounded, so late multimedia data is not repaired forever).
+QTPLIGHT_RELIABLE = TransportProfile(
+    name="QTPlight+retx",
+    congestion_control=CongestionControl.TFRC,
+    reliability=ReliabilityMode.PARTIAL_COUNT,
+    loss_estimation=LossEstimationSite.SENDER,
+)
+
+#: Stock RFC 3448 TFRC: the media-streaming baseline composition.
+TFRC_MEDIA = TransportProfile(
+    name="TFRC",
+    congestion_control=CongestionControl.TFRC,
+    reliability=ReliabilityMode.NONE,
+    loss_estimation=LossEstimationSite.RECEIVER,
+)
+
+#: Window-based fully reliable profile — realized by the TCP baseline.
+TCP_LIKE = TransportProfile(
+    name="TCP",
+    congestion_control=CongestionControl.WINDOW,
+    reliability=ReliabilityMode.FULL,
+    loss_estimation=LossEstimationSite.RECEIVER,
+)
+
+
+Endpoints = Tuple[Union[QtpSender, TcpSender], Union[QtpReceiver, TcpReceiver]]
+
+
+def build_transport_pair(
+    sim: Simulator,
+    src_node: Node,
+    dst_node: Node,
+    flow_id: str,
+    profile: TransportProfile,
+    recorder: Optional[FlowRecorder] = None,
+    rx_meter: Optional[CostMeter] = None,
+    tx_meter: Optional[CostMeter] = None,
+    on_deliver: Optional[Callable] = None,
+    bulk: bool = True,
+    feedback_filter=None,
+    start: bool = False,
+) -> Endpoints:
+    """Construct and attach a sender/receiver pair for ``profile``.
+
+    ``WINDOW`` profiles build the TCP baseline (with SACK enabled);
+    everything else builds the composed QTP endpoints.  Set
+    ``start=True`` to begin transmission immediately.
+    """
+    if profile.congestion_control is CongestionControl.WINDOW:
+        tcp_sender = TcpSender(
+            sim, dst=dst_node.name, segment_size=profile.segment_size, sack=True
+        )
+        tcp_receiver = TcpReceiver(sim, recorder=recorder, sack=True)
+        tcp_sender.attach(src_node, flow_id)
+        tcp_receiver.attach(dst_node, flow_id)
+        if start:
+            tcp_sender.start()
+        return tcp_sender, tcp_receiver
+    sender = QtpSender(
+        sim, dst=dst_node.name, profile=profile, bulk=bulk, sender_meter=tx_meter
+    )
+    receiver = QtpReceiver(
+        sim,
+        profile=profile,
+        recorder=recorder,
+        meter=rx_meter,
+        on_deliver=on_deliver,
+        feedback_filter=feedback_filter,
+    )
+    sender.attach(src_node, flow_id)
+    receiver.attach(dst_node, flow_id)
+    if start:
+        sender.start()
+    return sender, receiver

@@ -1,0 +1,178 @@
+"""Capability negotiation between transport endpoints.
+
+The paper (§1) requires the protocol features — "(1) partial/full
+reliability; (2) light processing for receiver; (3) QoS-awareness" — to
+be *negotiated between the transport entities*.  Endpoints advertise a
+:class:`CapabilitySet`; :func:`negotiate` intersects the two sets,
+honours hard constraints (a light receiver cannot run the RFC 3448
+estimator; a QoS request needs gTFRC on both sides) and resolves the
+initiator's preferences into a concrete
+:class:`~repro.core.profile.TransportProfile`.
+
+The wire-level two-message handshake lives in
+:mod:`repro.core.connection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.profile import (
+    CongestionControl,
+    LossEstimationSite,
+    ReliabilityMode,
+    TransportProfile,
+)
+
+
+class NegotiationError(Exception):
+    """The endpoints' capability sets admit no common profile."""
+
+
+@dataclass(frozen=True)
+class CapabilitySet:
+    """What one endpoint supports and prefers.
+
+    Tuples are in *preference order* (most preferred first); the
+    initiator's order wins where both sides agree.
+
+    Attributes
+    ----------
+    congestion_controls: supported CC engines.
+    reliability_modes: supported reliability services.
+    estimation_sites: supported loss-estimation placements.
+    light_receiver: hard constraint — this endpoint cannot run the
+        RFC 3448 loss machinery (PDA-class device, paper §3).
+    qos_target_bps: the AF guarantee this endpoint wants honoured
+        (requires gTFRC support on both sides), bits/s.
+    strict_qos: refuse to fall back to plain TFRC when QoS cannot be
+        honoured (otherwise degrade gracefully).
+    segment_size: preferred segment size; the smaller of the two
+        endpoints' preferences is chosen.
+    """
+
+    congestion_controls: Tuple[CongestionControl, ...] = (
+        CongestionControl.TFRC,
+        CongestionControl.GTFRC,
+    )
+    reliability_modes: Tuple[ReliabilityMode, ...] = (
+        ReliabilityMode.NONE,
+        ReliabilityMode.FULL,
+        ReliabilityMode.PARTIAL_TIME,
+        ReliabilityMode.PARTIAL_COUNT,
+    )
+    estimation_sites: Tuple[LossEstimationSite, ...] = (
+        LossEstimationSite.RECEIVER,
+        LossEstimationSite.SENDER,
+    )
+    light_receiver: bool = False
+    qos_target_bps: Optional[float] = None
+    strict_qos: bool = False
+    segment_size: int = 1000
+
+    def to_wire(self) -> dict:
+        """Serialize for the handshake's offer message."""
+        return {
+            "cc": [c.value for c in self.congestion_controls],
+            "rel": [r.value for r in self.reliability_modes],
+            "est": [e.value for e in self.estimation_sites],
+            "light": self.light_receiver,
+            "qos": self.qos_target_bps,
+            "strict_qos": self.strict_qos,
+            "mss": self.segment_size,
+        }
+
+    @staticmethod
+    def from_wire(payload: dict) -> "CapabilitySet":
+        """Parse an offer message back into a capability set."""
+        return CapabilitySet(
+            congestion_controls=tuple(
+                CongestionControl(v) for v in payload["cc"]
+            ),
+            reliability_modes=tuple(ReliabilityMode(v) for v in payload["rel"]),
+            estimation_sites=tuple(LossEstimationSite(v) for v in payload["est"]),
+            light_receiver=bool(payload.get("light", False)),
+            qos_target_bps=payload.get("qos"),
+            strict_qos=bool(payload.get("strict_qos", False)),
+            segment_size=int(payload.get("mss", 1000)),
+        )
+
+
+def _pick(preferred: Sequence, supported: Sequence, axis: str):
+    for candidate in preferred:
+        if candidate in supported:
+            return candidate
+    raise NegotiationError(f"no common option on axis {axis!r}")
+
+
+def negotiate(
+    initiator: CapabilitySet, responder: CapabilitySet
+) -> TransportProfile:
+    """Resolve two capability sets into one transport profile.
+
+    The initiator is conventionally the data *sender* and the responder
+    the *receiver* (the paper's mobile client).  Raises
+    :class:`NegotiationError` when any axis has no common option or a
+    hard constraint cannot be met.
+    """
+    # --- loss estimation site: light receivers force SENDER -------------
+    if responder.light_receiver or initiator.light_receiver:
+        if (
+            LossEstimationSite.SENDER not in initiator.estimation_sites
+            or LossEstimationSite.SENDER not in responder.estimation_sites
+        ):
+            raise NegotiationError(
+                "light receiver requires sender-side loss estimation"
+            )
+        estimation = LossEstimationSite.SENDER
+    else:
+        estimation = _pick(
+            initiator.estimation_sites, responder.estimation_sites, "estimation"
+        )
+
+    # --- congestion control: honour the QoS request when possible -------
+    qos_target = initiator.qos_target_bps or responder.qos_target_bps
+    both_gtfrc = (
+        CongestionControl.GTFRC in initiator.congestion_controls
+        and CongestionControl.GTFRC in responder.congestion_controls
+    )
+    if qos_target is not None and both_gtfrc:
+        cc = CongestionControl.GTFRC
+    elif qos_target is not None and (
+        initiator.strict_qos or responder.strict_qos
+    ):
+        raise NegotiationError("QoS requested but gTFRC unsupported")
+    else:
+        cc = _pick(
+            initiator.congestion_controls,
+            responder.congestion_controls,
+            "congestion control",
+        )
+        qos_target = qos_target if cc is CongestionControl.GTFRC else None
+
+    reliability = _pick(
+        initiator.reliability_modes, responder.reliability_modes, "reliability"
+    )
+    segment = min(initiator.segment_size, responder.segment_size)
+    return TransportProfile(
+        name=_instance_name(cc, reliability, estimation),
+        congestion_control=cc,
+        reliability=reliability,
+        loss_estimation=estimation,
+        target_rate_bps=qos_target if cc is CongestionControl.GTFRC else None,
+        segment_size=segment,
+    )
+
+
+def _instance_name(
+    cc: CongestionControl,
+    reliability: ReliabilityMode,
+    estimation: LossEstimationSite,
+) -> str:
+    """Name the composed instance after the paper's taxonomy."""
+    if cc is CongestionControl.GTFRC and reliability is ReliabilityMode.FULL:
+        return "QTPAF"
+    if estimation is LossEstimationSite.SENDER:
+        return "QTPlight"
+    return "QTP"

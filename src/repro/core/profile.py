@@ -1,0 +1,167 @@
+"""Transport profiles: the composition axes of the versatile protocol.
+
+The paper (§1) lists the features an instance negotiates: *partial/full
+reliability*, *light processing for the receiver* and *QoS-awareness*.
+A :class:`TransportProfile` pins one choice per axis; the composition
+machinery in :mod:`repro.core.sender` / :mod:`repro.core.receiver`
+assembles the matching endpoints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class CongestionControl(enum.Enum):
+    """Congestion-control engine of an instance."""
+
+    TFRC = "tfrc"
+    GTFRC = "gtfrc"
+    WINDOW = "window"  # TCP-like AIMD window (baseline composition)
+
+
+class ReliabilityMode(enum.Enum):
+    """Reliability service provided on top of SACK."""
+
+    NONE = "none"
+    PARTIAL_TIME = "partial-time"  # retransmit while the deadline allows
+    PARTIAL_COUNT = "partial-count"  # bounded retransmission attempts
+    FULL = "full"
+
+
+class LossEstimationSite(enum.Enum):
+    """Where the TFRC loss-event rate is computed.
+
+    ``RECEIVER`` is stock RFC 3448; ``SENDER`` is the QTPlight shift
+    that lightens resource-constrained receivers (§3 of the paper).
+    """
+
+    RECEIVER = "receiver"
+    SENDER = "sender"
+
+
+class ProfileError(ValueError):
+    """An inconsistent combination of profile options."""
+
+
+@dataclass(frozen=True)
+class TransportProfile:
+    """A fully specified transport instance.
+
+    Attributes
+    ----------
+    name: human-readable instance name ("QTPAF", ...).
+    congestion_control: engine per :class:`CongestionControl`.
+    reliability: service per :class:`ReliabilityMode`.
+    loss_estimation: site per :class:`LossEstimationSite`.
+    target_rate_bps: negotiated AF guarantee ``g`` in **bits/s**
+        (required by gTFRC; converted internally to bytes/s).
+    segment_size: data packet size in bytes.
+    partial_max_retx: retransmission bound for ``PARTIAL_COUNT``.
+    partial_deadline: per-message lifetime (s) for ``PARTIAL_TIME``
+        when the application supplies no explicit deadline.
+    sack_block_limit: maximum SACK blocks carried per feedback packet.
+    feedback_padding: extra feedback bytes (models option overhead).
+    """
+
+    name: str = "QTP"
+    congestion_control: CongestionControl = CongestionControl.TFRC
+    reliability: ReliabilityMode = ReliabilityMode.NONE
+    loss_estimation: LossEstimationSite = LossEstimationSite.RECEIVER
+    target_rate_bps: Optional[float] = None
+    segment_size: int = 1000
+    partial_max_retx: int = 2
+    partial_deadline: float = 0.5
+    sack_block_limit: int = 16
+    feedback_padding: int = 0
+    #: With sender-side estimation, one in this many sequence numbers is
+    #: silently skipped (allocated, never sent) as a lie detector: a
+    #: receiver that acknowledges a skipped number before the sender's
+    #: forward-ack passed it is provably fabricating SACK coverage
+    #: (Gorinsky-style misbehavior detection).  0 disables auditing.
+    audit_skip_interval: int = 150
+
+    def __post_init__(self) -> None:
+        if self.segment_size <= 0:
+            raise ProfileError("segment size must be positive")
+        if self.congestion_control is CongestionControl.GTFRC:
+            if not self.target_rate_bps or self.target_rate_bps <= 0:
+                raise ProfileError("gTFRC requires a positive target_rate_bps")
+        if self.sack_block_limit < 1:
+            raise ProfileError("need at least one SACK block")
+        if self.partial_max_retx < 0:
+            raise ProfileError("partial_max_retx cannot be negative")
+        if self.partial_deadline <= 0:
+            raise ProfileError("partial_deadline must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def needs_sack_feedback(self) -> bool:
+        """True when feedback must carry SACK blocks.
+
+        Sender-side estimation reconstructs losses from SACK vectors,
+        and any reliability service needs them for retransmission.
+        """
+        return (
+            self.loss_estimation is LossEstimationSite.SENDER
+            or self.reliability is not ReliabilityMode.NONE
+        )
+
+    @property
+    def receiver_runs_estimator(self) -> bool:
+        """True when the receiver executes the RFC 3448 loss machinery."""
+        return self.loss_estimation is LossEstimationSite.RECEIVER
+
+    @property
+    def target_rate_bytes(self) -> Optional[float]:
+        """The guarantee in bytes/s (transport-layer unit), or None."""
+        if self.target_rate_bps is None:
+            return None
+        return self.target_rate_bps / 8.0
+
+    def with_target_rate(self, rate_bps: float) -> "TransportProfile":
+        """Return a copy bound to a (new) AF guarantee."""
+        return replace(self, target_rate_bps=rate_bps)
+
+    def to_wire(self) -> dict:
+        """Serialize for the handshake's accept message."""
+        return {
+            "name": self.name,
+            "cc": self.congestion_control.value,
+            "rel": self.reliability.value,
+            "est": self.loss_estimation.value,
+            "g": self.target_rate_bps,
+            "mss": self.segment_size,
+            "max_retx": self.partial_max_retx,
+            "deadline": self.partial_deadline,
+            "sack_limit": self.sack_block_limit,
+        }
+
+    @staticmethod
+    def from_wire(payload: dict) -> "TransportProfile":
+        """Parse an accept message back into a profile."""
+        return TransportProfile(
+            name=payload["name"],
+            congestion_control=CongestionControl(payload["cc"]),
+            reliability=ReliabilityMode(payload["rel"]),
+            loss_estimation=LossEstimationSite(payload["est"]),
+            target_rate_bps=payload.get("g"),
+            segment_size=int(payload["mss"]),
+            partial_max_retx=int(payload["max_retx"]),
+            partial_deadline=float(payload["deadline"]),
+            sack_block_limit=int(payload["sack_limit"]),
+        )
+
+    def describe(self) -> str:
+        """One-line human description used by logs and examples."""
+        parts = [
+            self.name,
+            f"cc={self.congestion_control.value}",
+            f"rel={self.reliability.value}",
+            f"est={self.loss_estimation.value}",
+        ]
+        if self.target_rate_bps:
+            parts.append(f"g={self.target_rate_bps / 1e6:.2f}Mbit/s")
+        return " ".join(parts)

@@ -1,0 +1,36 @@
+"""Experiment harness: scenario builders, sweeps and table formatting.
+
+Each function in :mod:`repro.harness.scenarios` builds, runs and
+summarizes one canonical experiment setup from DESIGN.md's experiment
+index; the benchmarks call them with the paper's parameter ranges and
+print the resulting tables, and the integration tests assert the
+claim *shapes* on smaller configurations.
+"""
+
+from repro.harness.scenarios import (
+    AfResult,
+    LossyPathResult,
+    af_dumbbell_scenario,
+    lossy_path_scenario,
+    smoothness_scenario,
+    friendliness_scenario,
+    receiver_load_scenario,
+    estimation_accuracy_scenario,
+    selfish_receiver_scenario,
+    reliability_scenario,
+)
+from repro.harness.tables import format_table
+
+__all__ = [
+    "af_dumbbell_scenario",
+    "lossy_path_scenario",
+    "smoothness_scenario",
+    "friendliness_scenario",
+    "receiver_load_scenario",
+    "estimation_accuracy_scenario",
+    "selfish_receiver_scenario",
+    "reliability_scenario",
+    "AfResult",
+    "LossyPathResult",
+    "format_table",
+]

@@ -1,0 +1,716 @@
+"""Canonical experiment scenarios (one per DESIGN.md experiment).
+
+Every function builds a network, runs it for a configurable duration
+and returns a small result record.  All randomness flows from the
+``seed`` argument, so results are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.playout import PlayoutBuffer
+from repro.apps.sources import MediaSource
+from repro.core.instances import (
+    QTPAF,
+    QTPLIGHT,
+    TFRC_MEDIA,
+    build_transport_pair,
+)
+from repro.core.profile import (
+    CongestionControl,
+    LossEstimationSite,
+    ReliabilityMode,
+    TransportProfile,
+)
+from repro.core.qtplight import LyingFeedbackFilter
+from repro.core.receiver import QtpReceiver
+from repro.metrics.cost import CostMeter
+from repro.metrics.recorder import FlowRecorder
+from repro.metrics.stats import coefficient_of_variation, jain_index
+from repro.netem.channels import BernoulliLossChannel, GilbertElliottChannel
+from repro.qos.marking import ProfileMarker
+from repro.qos.sla import ServiceLevelAgreement
+from repro.sim.engine import Simulator
+from repro.sim.packet import Color
+from repro.sim.queues import DropTailQueue, RedQueue, RioQueue
+from repro.sim.topology import chain, dumbbell
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.tfrc.loss_history import LossEventEstimator
+
+#: Protocol labels accepted by the scenarios.
+AF_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+
+
+# ----------------------------------------------------------------------
+# T1 / T2 — AF bandwidth assurance
+# ----------------------------------------------------------------------
+@dataclass
+class AfResult:
+    """Outcome of one AF-assurance run."""
+
+    protocol: str
+    target_bps: float
+    achieved_bps: float
+    green_drop_ratio: float
+    out_drop_ratio: float
+    cross_total_bps: float
+
+    @property
+    def ratio(self) -> float:
+        """Achieved / negotiated — 1.0 means the assurance held."""
+        return self.achieved_bps / self.target_bps if self.target_bps else 0.0
+
+
+def _assured_profile(protocol: str, target_bps: float) -> Optional[TransportProfile]:
+    if protocol == "qtpaf":
+        return QTPAF(target_bps)
+    if protocol == "gtfrc":
+        return QTPAF(target_bps, name="gTFRC", reliability=ReliabilityMode.NONE)
+    if protocol == "tfrc":
+        return TFRC_MEDIA
+    return None  # tcp
+
+
+def af_dumbbell_scenario(
+    protocol: str,
+    target_bps: float,
+    n_cross: int = 4,
+    bottleneck_bps: float = 10e6,
+    bottleneck_delay: float = 0.02,
+    access_delay: float = 0.002,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    seed: int = 0,
+    assured_access_delay: Optional[float] = None,
+) -> AfResult:
+    """The paper's §4 experiment: an assured flow against TCP cross traffic.
+
+    One flow holds an AF reservation of ``target_bps`` (srTCM edge
+    marker + RIO bottleneck); ``n_cross`` greedy best-effort TCP flows
+    congest the same bottleneck.  Returns the assured flow's achieved
+    goodput and the bottleneck drop ratios per precedence.
+
+    ``protocol`` selects the assured flow's transport: "tcp" (the
+    Seddigh failure case), "tfrc" (no QoS-awareness), "gtfrc"
+    (QoS-aware rate control only) or "qtpaf" (gTFRC + full
+    reliability — the paper's instance).
+    """
+    if protocol not in AF_PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    sim = Simulator(seed=seed)
+    sla = ServiceLevelAgreement(
+        flow_id="assured", committed_rate_bps=target_bps, burst_bytes=30_000
+    )
+    markers: List[Optional[ProfileMarker]] = [
+        ProfileMarker(sla.build_meter(), flow_id="assured")
+    ] + [None] * n_cross
+    delays = [assured_access_delay or access_delay] + [access_delay] * n_cross
+    rio_rng = sim.rng("rio")
+    mean_pkt_time = 1000 * 8 / bottleneck_bps
+    d = dumbbell(
+        sim,
+        n_pairs=1 + n_cross,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=bottleneck_delay,
+        bottleneck_queue_factory=lambda: RioQueue(
+            rng=rio_rng, mean_pkt_time=mean_pkt_time
+        ),
+        access_delays=delays,
+        access_markers=markers,
+    )
+    assured_rec = FlowRecorder("assured")
+    profile = _assured_profile(protocol, target_bps)
+    if profile is None:
+        sender = TcpSender(sim, dst="d0", sack=True)
+        receiver = TcpReceiver(sim, recorder=assured_rec, sack=True)
+        sender.attach(d.net.node("s0"), "assured")
+        receiver.attach(d.net.node("d0"), "assured")
+        sender.start()
+    else:
+        sender, receiver = build_transport_pair(
+            sim,
+            d.net.node("s0"),
+            d.net.node("d0"),
+            "assured",
+            profile,
+            recorder=assured_rec,
+            start=True,
+        )
+    cross_recs = []
+    for i in range(1, 1 + n_cross):
+        rec = FlowRecorder(f"cross{i}")
+        cross_recs.append(rec)
+        tcp_snd = TcpSender(sim, dst=f"d{i}", sack=True)
+        tcp_rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        tcp_snd.attach(d.net.node(f"s{i}"), f"x{i}")
+        tcp_rcv.attach(d.net.node(f"d{i}"), f"x{i}")
+        tcp_snd.start()
+    sim.run(until=duration)
+    stats = d.bottleneck.queue.stats
+    green_offered = (
+        stats.accepts_by_color[Color.GREEN] + stats.drops_by_color[Color.GREEN]
+    )
+    out_offered = stats.offered - green_offered
+    out_drops = stats.dropped - stats.drops_by_color[Color.GREEN]
+    return AfResult(
+        protocol=protocol,
+        target_bps=target_bps,
+        achieved_bps=assured_rec.mean_rate_bps(warmup, duration),
+        green_drop_ratio=(
+            stats.drops_by_color[Color.GREEN] / green_offered if green_offered else 0.0
+        ),
+        out_drop_ratio=out_drops / out_offered if out_offered else 0.0,
+        cross_total_bps=sum(r.mean_rate_bps(warmup, duration) for r in cross_recs),
+    )
+
+
+# ----------------------------------------------------------------------
+# F1 — smoothness
+# ----------------------------------------------------------------------
+@dataclass
+class SmoothnessResult:
+    """Throughput series and its coefficient of variation."""
+
+    protocol: str
+    mean_bps: float
+    cov: float
+    series_bps: List[float] = field(repr=False, default_factory=list)
+
+
+def smoothness_scenario(
+    protocol: str,
+    bottleneck_bps: float = 4e6,
+    duration: float = 120.0,
+    warmup: float = 20.0,
+    bin_width: float = 0.2,
+    seed: int = 0,
+) -> SmoothnessResult:
+    """One measured flow + one TCP competitor over a RED bottleneck.
+
+    The paper's motivation (§2/§3): TFRC's equation-driven rate is much
+    smoother than TCP's AIMD sawtooth under identical conditions.  A
+    RED queue keeps the bottleneck buffer short so the receiver-side
+    throughput actually exposes the sender's sawtooth (a deep DropTail
+    buffer would smooth it away).
+    """
+    sim = Simulator(seed=seed)
+    mean_pkt_time = 1000 * 8 / bottleneck_bps
+    d = dumbbell(
+        sim,
+        n_pairs=2,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=0.02,
+        bottleneck_queue_factory=lambda: RedQueue(
+            min_th=5, max_th=20, max_p=0.1, capacity_packets=60,
+            rng=sim.rng("red"), mean_pkt_time=mean_pkt_time,
+        ),
+    )
+    rec = FlowRecorder(protocol)
+    if protocol == "tcp":
+        snd = TcpSender(sim, dst="d0", sack=True)
+        rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        snd.attach(d.net.node("s0"), "probe")
+        rcv.attach(d.net.node("d0"), "probe")
+        snd.start()
+    elif protocol == "tfrc":
+        build_transport_pair(
+            sim, d.net.node("s0"), d.net.node("d0"), "probe", TFRC_MEDIA,
+            recorder=rec, start=True,
+        )
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    competitor = FlowRecorder("cross")
+    tcp_snd = TcpSender(sim, dst="d1", sack=True)
+    tcp_rcv = TcpReceiver(sim, recorder=competitor, sack=True)
+    tcp_snd.attach(d.net.node("s1"), "cross")
+    tcp_rcv.attach(d.net.node("d1"), "cross")
+    tcp_snd.start()
+    sim.run(until=duration)
+    series = rec.series(bin_width, end=duration)
+    steady = series[int(warmup / bin_width):]
+    return SmoothnessResult(
+        protocol=protocol,
+        mean_bps=rec.mean_rate_bps(warmup, duration),
+        cov=coefficient_of_variation(steady),
+        series_bps=[8 * v for v in steady],
+    )
+
+
+# ----------------------------------------------------------------------
+# F2 — lossy / multi-hop paths
+# ----------------------------------------------------------------------
+@dataclass
+class LossyPathResult:
+    """Goodput over a lossy multi-hop path."""
+
+    protocol: str
+    loss_rate: float
+    observed_loss_rate: float
+    goodput_bps: float
+
+
+def lossy_path_scenario(
+    protocol: str,
+    loss_rate: float,
+    n_hops: int = 3,
+    hop_rate_bps: float = 2e6,
+    hop_delay: float = 0.005,
+    bursty: bool = False,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    seed: int = 0,
+) -> LossyPathResult:
+    """TCP vs TFRC over a chain with per-hop random loss (paper §2 claim 1).
+
+    ``bursty=True`` uses a Gilbert–Elliott channel tuned to the same
+    steady-state loss rate; otherwise losses are Bernoulli.
+    """
+    sim = Simulator(seed=seed)
+    rng = sim.rng("wireless")
+
+    def channel_factory():
+        if loss_rate <= 0:
+            return None
+        if bursty:
+            # fix the bad-state dynamics, solve p_g2b for the target rate
+            p_bad, p_b2g = 0.5, 0.25
+            p_g2b = loss_rate * p_b2g / max(1e-9, (p_bad - loss_rate))
+            return GilbertElliottChannel(
+                p_g2b=min(0.9, p_g2b), p_b2g=p_b2g, p_bad=p_bad, rng=rng
+            )
+        return BernoulliLossChannel(loss_rate, rng=rng)
+
+    topo = chain(
+        sim,
+        n_hops=n_hops,
+        rate=hop_rate_bps,
+        delay=hop_delay,
+        channel_factory=channel_factory,
+    )
+    rec = FlowRecorder(protocol)
+    src, dst = topo.first, topo.last
+    if protocol == "tcp":
+        snd = TcpSender(sim, dst=dst.name, sack=True)
+        rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        snd.attach(src, "flow")
+        rcv.attach(dst, "flow")
+        snd.start()
+    elif protocol == "tfrc":
+        build_transport_pair(
+            sim, src, dst, "flow", TFRC_MEDIA, recorder=rec, start=True
+        )
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    sim.run(until=duration)
+    observed = [
+        link.channel.observed_loss_rate()
+        for link in topo.hops
+        if link.channel is not None
+    ]
+    return LossyPathResult(
+        protocol=protocol,
+        loss_rate=loss_rate,
+        observed_loss_rate=sum(observed) / len(observed) if observed else 0.0,
+        goodput_bps=rec.mean_rate_bps(warmup, duration),
+    )
+
+
+# ----------------------------------------------------------------------
+# F4 — TCP friendliness
+# ----------------------------------------------------------------------
+@dataclass
+class FriendlinessResult:
+    """Bandwidth sharing of one TFRC against N TCP flows."""
+
+    n_tcp: int
+    tfrc_bps: float
+    tcp_mean_bps: float
+    normalized: float
+    jain: float
+
+
+def friendliness_scenario(
+    n_tcp: int,
+    bottleneck_bps: float = 8e6,
+    duration: float = 100.0,
+    warmup: float = 20.0,
+    seed: int = 0,
+) -> FriendlinessResult:
+    """One TFRC flow sharing a RED bottleneck with ``n_tcp`` TCP flows."""
+    sim = Simulator(seed=seed)
+    red_rng = sim.rng("red")
+    mean_pkt_time = 1000 * 8 / bottleneck_bps
+    d = dumbbell(
+        sim,
+        n_pairs=1 + n_tcp,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=0.02,
+        bottleneck_queue_factory=lambda: RedQueue(
+            min_th=10, max_th=30, capacity_packets=80,
+            rng=red_rng, mean_pkt_time=mean_pkt_time,
+        ),
+    )
+    tfrc_rec = FlowRecorder("tfrc")
+    build_transport_pair(
+        sim, d.net.node("s0"), d.net.node("d0"), "tfrc", TFRC_MEDIA,
+        recorder=tfrc_rec, start=True,
+    )
+    tcp_recs = []
+    for i in range(1, 1 + n_tcp):
+        rec = FlowRecorder(f"tcp{i}")
+        tcp_recs.append(rec)
+        snd = TcpSender(sim, dst=f"d{i}", sack=True)
+        rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        snd.attach(d.net.node(f"s{i}"), f"tcp{i}")
+        rcv.attach(d.net.node(f"d{i}"), f"tcp{i}")
+        snd.start()
+    sim.run(until=duration)
+    tfrc_bps = tfrc_rec.mean_rate_bps(warmup, duration)
+    tcp_rates = [r.mean_rate_bps(warmup, duration) for r in tcp_recs]
+    tcp_mean = sum(tcp_rates) / len(tcp_rates)
+    return FriendlinessResult(
+        n_tcp=n_tcp,
+        tfrc_bps=tfrc_bps,
+        tcp_mean_bps=tcp_mean,
+        normalized=tfrc_bps / tcp_mean if tcp_mean > 0 else float("inf"),
+        jain=jain_index([tfrc_bps] + tcp_rates),
+    )
+
+
+# ----------------------------------------------------------------------
+# T3 — receiver processing load
+# ----------------------------------------------------------------------
+@dataclass
+class ReceiverLoadResult:
+    """Cost-meter comparison of receiver compositions."""
+
+    profile_name: str
+    loss_rate: float
+    packets: int
+    rx_ops_per_packet: float
+    rx_peak_bytes: int
+    tx_estimator_ops_per_packet: float
+    feedback_sent: int
+
+
+def receiver_load_scenario(
+    profile: TransportProfile,
+    loss_rate: float = 0.02,
+    rate_bps: float = 2e6,
+    duration: float = 40.0,
+    warmup: float = 10.0,
+    seed: int = 0,
+) -> ReceiverLoadResult:
+    """Measure per-packet receiver work for one composition (paper §3).
+
+    A single lossy link; the sender streams at up to ``rate_bps``.  The
+    receiver's cost meter captures the RFC 3448 machinery (heavy) or
+    the QTPlight SACK bookkeeping (light); the sender meter shows where
+    QTPlight moved the work.  Meters are reset after ``warmup`` so the
+    slow-start overshoot transient (a loss burst every composition
+    shares) does not dominate the peak-memory column.
+    """
+    sim = Simulator(seed=seed)
+    topo = chain(
+        sim,
+        n_hops=1,
+        rate=rate_bps,
+        delay=0.02,
+        channel_factory=lambda: (
+            BernoulliLossChannel(loss_rate, rng=sim.rng("loss"))
+            if loss_rate > 0
+            else None
+        ),
+    )
+    rx_meter = CostMeter("receiver")
+    tx_meter = CostMeter("sender-estimator")
+    rec = FlowRecorder()
+    snd, rcv = build_transport_pair(
+        sim, topo.first, topo.last, "flow", profile,
+        recorder=rec, rx_meter=rx_meter, tx_meter=tx_meter, start=True,
+    )
+    packets_at_warmup = [0]
+
+    def reset_meters() -> None:
+        rx_meter.reset()
+        tx_meter.reset()
+        packets_at_warmup[0] = getattr(rcv, "received_packets", 0)
+
+    sim.schedule(warmup, reset_meters)
+    sim.run(until=duration)
+    packets = getattr(rcv, "received_packets", 1) - packets_at_warmup[0]
+    return ReceiverLoadResult(
+        profile_name=profile.name,
+        loss_rate=loss_rate,
+        packets=packets,
+        rx_ops_per_packet=rx_meter.ops / max(1, packets),
+        rx_peak_bytes=rx_meter.peak_bytes,
+        tx_estimator_ops_per_packet=tx_meter.ops / max(1, packets),
+        feedback_sent=getattr(rcv, "feedback_sent", 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# F3 — sender-side estimation accuracy
+# ----------------------------------------------------------------------
+class _ShadowReceiver(QtpReceiver):
+    """QTPlight receiver that *also* runs a silent RFC 3448 estimator.
+
+    The shadow estimator sees exactly the packet stream the receiver
+    sees, providing the ground-truth receiver-side loss event rate that
+    the sender-side estimate is compared against.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.shadow = LossEventEstimator()
+
+    def receive(self, packet) -> None:  # noqa: D102 - see base class
+        header = packet.header
+        from repro.sim.packet import TfrcDataHeader  # local to avoid cycle noise
+
+        if isinstance(header, TfrcDataHeader):
+            self.shadow.on_packet(
+                header.seq, self.sim.now, max(header.rtt_estimate, 1e-6)
+            )
+        super().receive(packet)
+
+
+@dataclass
+class EstimationAccuracyResult:
+    """Sender-side vs receiver-side loss event rate on one stream."""
+
+    loss_rate: float
+    samples: List[Tuple[float, float, float]]  # (time, p_sender, p_shadow)
+    mean_p_sender: float
+    mean_p_shadow: float
+    mean_abs_rel_error: float
+    goodput_bps: float
+
+
+def estimation_accuracy_scenario(
+    loss_rate: float,
+    rate_bps: float = 2e6,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    sample_period: float = 0.5,
+    seed: int = 0,
+) -> EstimationAccuracyResult:
+    """Run QTPlight with a shadow receiver-side estimator (paper §3).
+
+    Samples both loss-event-rate estimates every ``sample_period``
+    seconds and reports their agreement over the post-warmup window.
+    """
+    sim = Simulator(seed=seed)
+    topo = chain(
+        sim,
+        n_hops=1,
+        rate=rate_bps,
+        delay=0.02,
+        channel_factory=lambda: (
+            BernoulliLossChannel(loss_rate, rng=sim.rng("loss"))
+            if loss_rate > 0
+            else None
+        ),
+    )
+    rec = FlowRecorder()
+    from dataclasses import replace
+
+    from repro.core.sender import QtpSender
+
+    # audit skips would register as losses at the shadow estimator but
+    # not at the sender, biasing the very comparison we are making
+    profile = replace(QTPLIGHT, audit_skip_interval=0)
+    sender = QtpSender(sim, dst=topo.last.name, profile=profile)
+    receiver = _ShadowReceiver(sim, profile=profile, recorder=rec)
+    sender.attach(topo.first, "flow")
+    receiver.attach(topo.last, "flow")
+    sender.start()
+    samples: List[Tuple[float, float, float]] = []
+
+    def sample() -> None:
+        assert sender.estimator is not None
+        samples.append(
+            (
+                sim.now,
+                sender.estimator.loss_event_rate(),
+                receiver.shadow.loss_event_rate(),
+            )
+        )
+        if sim.now + sample_period <= duration:
+            sim.schedule(sample_period, sample)
+
+    sim.schedule(sample_period, sample)
+    sim.run(until=duration)
+    steady = [s for s in samples if s[0] >= warmup and s[2] > 0]
+    mean_s = sum(s[1] for s in steady) / len(steady) if steady else 0.0
+    mean_r = sum(s[2] for s in steady) / len(steady) if steady else 0.0
+    errors = [abs(s[1] - s[2]) / s[2] for s in steady]
+    return EstimationAccuracyResult(
+        loss_rate=loss_rate,
+        samples=samples,
+        mean_p_sender=mean_s,
+        mean_p_shadow=mean_r,
+        mean_abs_rel_error=sum(errors) / len(errors) if errors else 0.0,
+        goodput_bps=rec.mean_rate_bps(warmup, duration),
+    )
+
+
+# ----------------------------------------------------------------------
+# T4 — selfish receivers
+# ----------------------------------------------------------------------
+@dataclass
+class SelfishResult:
+    """Goodput split between a (possibly cheating) flow and its victim."""
+
+    mode: str
+    lying: bool
+    cheater_bps: float
+    victim_bps: float
+
+
+def selfish_receiver_scenario(
+    mode: str,
+    lying: bool,
+    bottleneck_bps: float = 4e6,
+    duration: float = 80.0,
+    warmup: float = 20.0,
+    seed: int = 0,
+) -> SelfishResult:
+    """A (possibly lying) receiver shares a bottleneck with an honest TFRC.
+
+    ``mode`` is "tfrc" (standard, receiver-computed p — vulnerable) or
+    "qtplight" (sender-computed p — the paper's protection).  With
+    ``lying=True`` the first flow's receiver mangles its reports per
+    :class:`~repro.core.qtplight.LyingFeedbackFilter`.
+    """
+    if mode not in ("tfrc", "qtplight"):
+        raise ValueError(f"unknown mode {mode!r}")
+    sim = Simulator(seed=seed)
+    d = dumbbell(
+        sim,
+        n_pairs=2,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=0.02,
+        bottleneck_queue_factory=lambda: DropTailQueue(capacity_packets=40),
+    )
+    cheater_rec = FlowRecorder("cheater")
+    victim_rec = FlowRecorder("victim")
+    profile = TFRC_MEDIA if mode == "tfrc" else QTPLIGHT
+    flt = LyingFeedbackFilter(p_scale=0.0, x_scale=4.0) if lying else None
+    build_transport_pair(
+        sim, d.net.node("s0"), d.net.node("d0"), "cheat", profile,
+        recorder=cheater_rec, feedback_filter=flt, start=True,
+    )
+    build_transport_pair(
+        sim, d.net.node("s1"), d.net.node("d1"), "victim", TFRC_MEDIA,
+        recorder=victim_rec, start=True,
+    )
+    sim.run(until=duration)
+    return SelfishResult(
+        mode=mode,
+        lying=lying,
+        cheater_bps=cheater_rec.mean_rate_bps(warmup, duration),
+        victim_bps=victim_rec.mean_rate_bps(warmup, duration),
+    )
+
+
+# ----------------------------------------------------------------------
+# T5 — reliability modes over media
+# ----------------------------------------------------------------------
+@dataclass
+class ReliabilityResult:
+    """Media delivery under one reliability mode."""
+
+    mode: str
+    sent: int
+    delivered: int
+    skipped: int
+    retransmissions: int
+    abandoned: int
+    on_time_ratio: float
+    mean_latency: float
+    p95_latency: float
+
+    @property
+    def useful_ratio(self) -> float:
+        """Fraction of *sent* messages that arrived before their deadline.
+
+        The decisive media metric: NONE loses frames outright, FULL
+        delivers them late; time-bounded partial reliability maximizes
+        this ratio (the paper's §1 motivation for negotiable
+        reliability).
+        """
+        if self.sent == 0:
+            return 1.0
+        return self.on_time_ratio * self.delivered / self.sent
+
+
+def reliability_scenario(
+    mode: ReliabilityMode,
+    loss_rate: float = 0.03,
+    rate_bps: float = 3e6,
+    duration: float = 60.0,
+    playout_delay: float = 0.28,
+    seed: int = 0,
+) -> ReliabilityResult:
+    """An MPEG-like stream over a lossy link under one reliability mode.
+
+    Shows the trade-off the paper's negotiable reliability exposes:
+    NONE loses frames, FULL delivers everything but late, the partial
+    modes repair what the playout deadline still allows.
+    """
+    sim = Simulator(seed=seed)
+    topo = chain(
+        sim,
+        n_hops=1,
+        rate=rate_bps,
+        delay=0.03,
+        channel_factory=lambda: (
+            BernoulliLossChannel(loss_rate, rng=sim.rng("loss"))
+            if loss_rate > 0
+            else None
+        ),
+    )
+    profile = TransportProfile(
+        name=f"media-{mode.value}",
+        congestion_control=CongestionControl.TFRC,
+        reliability=mode,
+        loss_estimation=LossEstimationSite.RECEIVER,
+        partial_deadline=playout_delay,
+        partial_max_retx=2,
+    )
+    playout = PlayoutBuffer()
+    rec = FlowRecorder()
+    snd, rcv = build_transport_pair(
+        sim, topo.first, topo.last, "media", profile,
+        recorder=rec,
+        on_deliver=lambda pkt: playout.deliver(pkt, sim.now),
+        bulk=False,
+    )
+    source = MediaSource(
+        sim, snd, fps=25.0, playout_delay=playout_delay
+    )
+    source.start()
+    sim.run(until=duration)
+    latencies = rcv.app_latencies
+    latencies_sorted = sorted(latencies)
+    p95 = (
+        latencies_sorted[int(0.95 * (len(latencies_sorted) - 1))]
+        if latencies_sorted
+        else 0.0
+    )
+    return ReliabilityResult(
+        mode=mode.value,
+        sent=source.messages,
+        delivered=rcv.app_delivered,
+        skipped=rcv.skipped_messages,
+        retransmissions=snd.retransmissions,
+        abandoned=snd.abandoned,
+        on_time_ratio=playout.on_time_ratio(),
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        p95_latency=p95,
+    )

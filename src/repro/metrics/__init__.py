@@ -1,0 +1,27 @@
+"""Measurement utilities: flow recorders, summary statistics, cost meters.
+
+* :mod:`repro.metrics.cost` — deterministic CPU/memory accounting used
+  by the QTPlight receiver-load experiment (T3);
+* :mod:`repro.metrics.stats` — throughput series, smoothness (CoV),
+  Jain fairness, percentiles;
+* :mod:`repro.metrics.recorder` — per-flow delivery recording agents
+  hook into.
+"""
+
+from repro.metrics.cost import CostMeter
+from repro.metrics.recorder import FlowRecorder
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    jain_index,
+    percentile,
+    throughput_series,
+)
+
+__all__ = [
+    "CostMeter",
+    "FlowRecorder",
+    "throughput_series",
+    "coefficient_of_variation",
+    "jain_index",
+    "percentile",
+]

@@ -1,0 +1,94 @@
+"""Per-flow delivery recording.
+
+Receivers call :meth:`FlowRecorder.record` for every delivered data
+packet; experiments then read goodput, throughput time series and
+latency distributions from the recorder.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+
+class FlowRecorder:
+    """Accumulates delivery events ``(time, bytes, latency)`` of one flow."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.events: List[Tuple[float, int]] = []
+        self.latencies: List[float] = []
+        self.delivered_bytes = 0
+        self.delivered_packets = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+
+    def record(self, now: float, packet: Packet) -> None:
+        """Record the delivery of ``packet`` at time ``now``."""
+        self.events.append((now, packet.size))
+        self.latencies.append(now - packet.created_at)
+        self.delivered_bytes += packet.size
+        self.delivered_packets += 1
+        if self.first_time is None:
+            self.first_time = now
+        self.last_time = now
+
+    def record_bytes(self, now: float, nbytes: int, latency: float = 0.0) -> None:
+        """Record a raw delivery (used by app-level reassembly)."""
+        self.events.append((now, nbytes))
+        self.latencies.append(latency)
+        self.delivered_bytes += nbytes
+        self.delivered_packets += 1
+        if self.first_time is None:
+            self.first_time = now
+        self.last_time = now
+
+    # ------------------------------------------------------------------
+    def mean_rate(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean delivery rate in **bytes/s** over the window ``(start, end]``.
+
+        The half-open window gives clean warmup semantics: an event at
+        exactly ``start`` belongs to the warmup, not the measurement.
+        ``end`` defaults to the last recorded event time.
+        """
+        if not self.events:
+            return 0.0
+        if end is None:
+            end = self.events[-1][0]
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        total = sum(size for t, size in self.events if start < t <= end)
+        return total / duration
+
+    def mean_rate_bps(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean delivery rate in bits/s (convenience)."""
+        return 8.0 * self.mean_rate(start, end)
+
+    def series(self, bin_width: float, end: Optional[float] = None) -> List[float]:
+        """Throughput per ``bin_width`` bucket, in bytes/s.
+
+        Returns one value per bucket from t=0 to ``end`` (default: last
+        event).  Empty buckets yield 0.0.
+        """
+        if bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        if not self.events:
+            return []
+        if end is None:
+            end = self.events[-1][0]
+        n_bins = max(1, math.ceil(end / bin_width))
+        bins = [0.0] * n_bins
+        for t, size in self.events:
+            idx = int(t / bin_width)
+            if idx < n_bins:
+                bins[idx] += size
+        return [b / bin_width for b in bins]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowRecorder({self.name!r}, {self.delivered_packets} pkts, "
+            f"{self.delivered_bytes} B)"
+        )

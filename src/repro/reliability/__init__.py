@@ -1,0 +1,29 @@
+"""Reliability services composed over SACK (paper §1, feature 1).
+
+* :mod:`repro.reliability.policies` — when to retransmit a lost packet:
+  never, always (full reliability), while a deadline allows
+  (time-bounded partial reliability) or up to a retransmission budget
+  (count-bounded partial reliability);
+* :mod:`repro.reliability.delivery` — receiver-side ordered delivery
+  with gap-skipping for partial modes.
+"""
+
+from repro.reliability.policies import (
+    CountBoundedReliability,
+    FullReliability,
+    NoReliability,
+    ReliabilityPolicy,
+    TimeBoundedReliability,
+    policy_for,
+)
+from repro.reliability.delivery import DeliveryBuffer
+
+__all__ = [
+    "ReliabilityPolicy",
+    "NoReliability",
+    "FullReliability",
+    "TimeBoundedReliability",
+    "CountBoundedReliability",
+    "policy_for",
+    "DeliveryBuffer",
+]

@@ -1,0 +1,103 @@
+"""Retransmission policies: the reliability axis of the profile.
+
+Each policy answers one question for a lost packet: *is retransmitting
+it still worthwhile?*  Policies see the scoreboard record (send times,
+retransmission count, the application rider with its deadline) and the
+current time, so time-bounded policies can account for the retransmission
+round-trip still ahead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.profile import ReliabilityMode, TransportProfile
+from repro.sack.scoreboard import SentRecord
+
+
+class ReliabilityPolicy:
+    """Base policy; subclasses override :meth:`should_retransmit`."""
+
+    name = "abstract"
+
+    def should_retransmit(self, record: SentRecord, now: float, rtt: float) -> bool:
+        """Decide whether a lost packet is worth retransmitting."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class NoReliability(ReliabilityPolicy):
+    """Pure datagram service: losses are never repaired (stock TFRC)."""
+
+    name = "none"
+
+    def should_retransmit(self, record: SentRecord, now: float, rtt: float) -> bool:
+        """Never retransmit."""
+        return False
+
+
+class FullReliability(ReliabilityPolicy):
+    """TCP-like service: every loss is repaired, without bound (QTPAF)."""
+
+    name = "full"
+
+    def should_retransmit(self, record: SentRecord, now: float, rtt: float) -> bool:
+        """Always retransmit."""
+        return True
+
+
+class TimeBoundedReliability(ReliabilityPolicy):
+    """Retransmit only while the data can still arrive in time.
+
+    A packet is repaired when ``now + rtt/2`` (the earliest the
+    retransmission can reach the receiver) is before its deadline.  The
+    deadline comes from the application rider; messages without one get
+    ``default_lifetime`` from their first transmission.
+    """
+
+    name = "partial-time"
+
+    def __init__(self, default_lifetime: float = 0.5):
+        if default_lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+        self.default_lifetime = default_lifetime
+
+    def _deadline(self, record: SentRecord) -> float:
+        if record.app is not None and record.app.deadline is not None:
+            return record.app.deadline
+        return record.first_send_time + self.default_lifetime
+
+    def should_retransmit(self, record: SentRecord, now: float, rtt: float) -> bool:
+        """Retransmit while the one-way trip still beats the deadline."""
+        return now + rtt / 2.0 < self._deadline(record)
+
+
+class CountBoundedReliability(ReliabilityPolicy):
+    """Retransmit each packet at most ``max_retx`` times."""
+
+    name = "partial-count"
+
+    def __init__(self, max_retx: int = 2):
+        if max_retx < 0:
+            raise ValueError("max_retx cannot be negative")
+        self.max_retx = max_retx
+
+    def should_retransmit(self, record: SentRecord, now: float, rtt: float) -> bool:
+        """Retransmit while under the per-packet budget."""
+        return record.retx_count < self.max_retx
+
+
+def policy_for(profile: TransportProfile) -> ReliabilityPolicy:
+    """Build the policy matching a profile's reliability mode."""
+    mode = profile.reliability
+    if mode is ReliabilityMode.NONE:
+        return NoReliability()
+    if mode is ReliabilityMode.FULL:
+        return FullReliability()
+    if mode is ReliabilityMode.PARTIAL_TIME:
+        return TimeBoundedReliability(profile.partial_deadline)
+    if mode is ReliabilityMode.PARTIAL_COUNT:
+        return CountBoundedReliability(profile.partial_max_retx)
+    raise ValueError(f"unknown reliability mode {mode!r}")

@@ -1,0 +1,15 @@
+"""Selective acknowledgments per RFC 2018.
+
+* :class:`~repro.sack.blocks.ReceiverSackState` — the receiver-side
+  bookkeeping: cumulative ack plus disjoint received ranges, reported
+  most-recently-updated first (the RFC's block ordering rules).  This
+  is the *entire* per-packet work of a QTPlight receiver.
+* :class:`~repro.sack.scoreboard.SenderScoreboard` — the sender-side
+  view: which packets are acked, SACKed, or presumed lost, and which
+  should be retransmitted under the active reliability policy.
+"""
+
+from repro.sack.blocks import ReceiverSackState
+from repro.sack.scoreboard import SenderScoreboard, SentRecord
+
+__all__ = ["ReceiverSackState", "SenderScoreboard", "SentRecord"]

@@ -1,0 +1,159 @@
+"""Store-and-forward link model.
+
+A :class:`Link` is unidirectional.  Packets offered by the upstream node
+pass through an optional *marker* (DiffServ edge conditioning), are
+admitted by the queue discipline, serialized at the link rate, subjected
+to an optional *channel* (loss/jitter emulation, :mod:`repro.netem`) and
+delivered to the downstream node after the propagation delay.
+
+Duplex connectivity is two independent ``Link`` objects (see
+:class:`repro.sim.topology.Network`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.node import Node
+
+
+class Channel(Protocol):
+    """Impairment applied after serialization (see :mod:`repro.netem`).
+
+    ``transit(packet, now)`` returns the extra delay to add to the
+    propagation delay, or ``None`` when the packet is lost.
+    """
+
+    def transit(self, packet: Packet, now: float) -> Optional[float]: ...
+
+
+class Marker(Protocol):
+    """Edge conditioner applied before queueing (see :mod:`repro.qos`)."""
+
+    def mark(self, packet: Packet, now: float) -> None: ...
+
+
+class LinkStats:
+    """Transmission-side counters of a link."""
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.delivered_packets = 0
+        self.channel_losses = 0
+
+    def utilization(self, rate_bps: float, duration: float) -> float:
+        """Fraction of capacity used over ``duration`` seconds."""
+        if duration <= 0 or rate_bps <= 0:
+            return 0.0
+        return min(1.0, self.tx_bytes * 8 / (rate_bps * duration))
+
+
+class Link:
+    """Unidirectional link with rate, delay, queue, marker and channel.
+
+    Parameters
+    ----------
+    sim: simulator the link schedules on.
+    src, dst: endpoint nodes.  The link registers itself as
+        ``src.links[dst.name]``.
+    rate_bps: line rate in bits/s.
+    delay: one-way propagation delay in seconds.
+    queue: queue discipline (default: 100-packet DropTail).
+    channel: optional loss/jitter model applied post-serialization.
+    marker: optional DiffServ conditioner applied pre-queueing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: float,
+        queue=None,
+        channel: Optional[Channel] = None,
+        marker: Optional[Marker] = None,
+        name: Optional[str] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("link delay must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.channel = channel
+        self.marker = marker
+        self.name = name or f"{src.name}->{dst.name}"
+        self.stats = LinkStats()
+        self._busy = False
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+        src.links[dst.name] = self
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link.  Returns False if queue-dropped."""
+        if self.marker is not None:
+            self.marker.mark(packet, self.sim.now)
+        if not self.queue.enqueue(packet, self.sim.now):
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.bits / self.rate_bps
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size
+        extra = 0.0
+        lost = False
+        if self.channel is not None:
+            outcome = self.channel.transit(packet, self.sim.now)
+            if outcome is None:
+                lost = True
+                self.stats.channel_losses += 1
+            else:
+                extra = outcome
+        if not lost:
+            self.sim.schedule(self.delay + extra, self._deliver, packet)
+        # pipeline the next packet regardless of the fate of this one
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered_packets += 1
+        self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def serialization_time(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire."""
+        return size_bytes * 8 / self.rate_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name}, {self.rate_bps / 1e6:.2f} Mbit/s, "
+            f"{self.delay * 1e3:.1f} ms, qlen={len(self.queue)})"
+        )

@@ -1,0 +1,219 @@
+"""Packet model and protocol headers.
+
+A :class:`Packet` is the unit handled by links, queues and agents.  It
+carries addressing (source/destination node names plus a flow id used
+for endpoint demultiplexing), a size in bytes, a DiffServ ``color`` and
+one typed protocol header.
+
+Headers are plain dataclasses — one per protocol message type — so that
+agents can dispatch on ``type(packet.header)`` and tests can construct
+messages directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+
+class Color(enum.Enum):
+    """DiffServ drop-precedence color assigned by edge markers.
+
+    ``GREEN`` is in-profile (protected by the AF assurance), ``YELLOW``
+    and ``RED`` are increasingly out-of-profile.  Unmarked best-effort
+    traffic is treated as ``RED`` by RIO queues configured for AF.
+    """
+
+    GREEN = 0
+    YELLOW = 1
+    RED = 2
+
+
+class PacketKind(enum.Enum):
+    """Coarse traffic class of a packet, used by traces and queues."""
+
+    DATA = 0
+    ACK = 1
+    FEEDBACK = 2
+    CONTROL = 3
+
+
+_uid_counter = itertools.count(1)
+
+
+# ----------------------------------------------------------------------
+# protocol headers
+# ----------------------------------------------------------------------
+@dataclass
+class TfrcDataHeader:
+    """TFRC data packet header (RFC 3448 §3.1).
+
+    Attributes
+    ----------
+    seq: sender packet sequence number.
+    timestamp: send time, echoed back for RTT measurement.
+    rtt_estimate: sender's current RTT estimate, used by the receiver to
+        cluster losses into loss events.
+    forward_ack: PR-SCTP-style forward cumulative-ack point — every
+        sequence number below it is either delivered or *abandoned* by
+        the sender's reliability policy and will never be
+        (re)transmitted, so the receiver may advance its cumulative ack
+        past those holes.
+    """
+
+    seq: int
+    timestamp: float
+    rtt_estimate: float
+    forward_ack: int = 0
+
+
+@dataclass
+class TfrcFeedbackHeader:
+    """Standard TFRC receiver report (RFC 3448 §3.2).
+
+    Attributes
+    ----------
+    timestamp_echo: timestamp of the most recent data packet.
+    elapsed: time between receiving that packet and sending this report.
+    x_recv: receive rate (bytes/s — transport-layer rates are bytes/s
+        throughout this package; link rates are bits/s).
+    p: receiver-computed loss event rate.
+    last_seq: highest sequence number seen (diagnostic).
+    """
+
+    timestamp_echo: float
+    elapsed: float
+    x_recv: float
+    p: float
+    last_seq: int
+
+
+@dataclass
+class SackFeedbackHeader:
+    """SACK-bearing receiver report (RFC 2018 block rules).
+
+    Used by both paper instances.  A QTPlight receiver does *no*
+    loss-rate computation: it reports the cumulative ack, up to N SACK
+    blocks (``[start, end)`` ranges received above the cumulative ack)
+    and the raw ingredients (``recv_bytes``, timestamps) the sender
+    needs to run RFC 3448 estimation itself; ``p`` stays ``None``.  A
+    QTPAF receiver additionally fills ``p`` and ``x_recv`` with the
+    receiver-side RFC 3448 estimates.
+    """
+
+    cum_ack: int
+    blocks: Tuple[Tuple[int, int], ...]
+    timestamp_echo: float
+    elapsed: float
+    recv_bytes: int
+    last_seq: int
+    interval: float = 0.0  # receiver-measured time since previous report
+    p: Optional[float] = None
+    x_recv: Optional[float] = None
+
+
+@dataclass
+class TcpSegmentHeader:
+    """TCP segment header (data and/or ack).
+
+    ``seq`` is a byte offset; ``payload`` the number of payload bytes.
+    ``ack`` is cumulative; ``sack_blocks`` optional RFC 2018 blocks.
+    """
+
+    seq: int
+    payload: int
+    ack: int = -1
+    syn: bool = False
+    fin: bool = False
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+    timestamp: float = 0.0
+    timestamp_echo: float = 0.0
+
+
+@dataclass
+class NegotiationHeader:
+    """Versatile-transport capability negotiation message (§1 of the paper).
+
+    ``offer`` carries a serialized capability set (dict) during connection
+    setup; ``accepted`` the chosen profile on the way back.
+    """
+
+    phase: str  # "offer" | "accept" | "reject"
+    payload: dict
+
+
+@dataclass
+class AppDataHeader:
+    """Opaque application payload rider for reliability/delivery tests.
+
+    Attributes
+    ----------
+    app_seq: application-level message number.
+    frame_type: e.g. "I", "P", "B" for media sources; "" for bulk data.
+    deadline: absolute playout deadline (partial-reliability policies),
+        ``None`` when the message has no deadline.
+    """
+
+    app_seq: int = -1
+    frame_type: str = ""
+    deadline: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# packet
+# ----------------------------------------------------------------------
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    src, dst: node names of the endpoints.
+    flow_id: endpoint demultiplexing key; both directions of one
+        connection share it.
+    size: total size in bytes (headers included) — what links serialize.
+    kind: coarse class for traces and schedulers.
+    header: typed protocol header (one of the dataclasses above).
+    color: DiffServ drop precedence, set by edge markers.
+    created_at: simulation time of creation at the sender.
+    app: optional application rider (:class:`AppDataHeader`).
+    """
+
+    src: str
+    dst: str
+    flow_id: str
+    size: int
+    kind: PacketKind = PacketKind.DATA
+    header: object = None
+    color: Color = Color.RED
+    created_at: float = 0.0
+    app: Optional[AppDataHeader] = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    hops: int = 0
+
+    def reply_to(self) -> Tuple[str, str]:
+        """Return ``(src, dst)`` for a packet answering this one."""
+        return self.dst, self.src
+
+    def copy(self, **changes) -> "Packet":
+        """Shallow copy with a fresh uid and optional field overrides."""
+        changes.setdefault("uid", next(_uid_counter))
+        return replace(self, **changes)
+
+    @property
+    def bits(self) -> int:
+        """Size in bits, as serialized by links."""
+        return self.size * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.uid} {self.src}->{self.dst} flow={self.flow_id} "
+            f"{self.kind.name} {self.size}B {self.color.name})"
+        )
+
+
+def total_bytes(packets: List[Packet]) -> int:
+    """Sum of packet sizes; convenience for tests and metrics."""
+    return sum(p.size for p in packets)

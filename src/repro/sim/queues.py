@@ -1,0 +1,368 @@
+"""Queue disciplines for links: DropTail, RED and RIO.
+
+All queues implement the same small interface used by
+:class:`repro.sim.link.Link`:
+
+* ``enqueue(packet, now) -> bool`` — True if accepted, False if dropped;
+* ``dequeue(now) -> Optional[Packet]``;
+* ``__len__`` and ``byte_count``.
+
+Every queue keeps drop/accept counters (overall and per
+:class:`~repro.sim.packet.Color`), which the DiffServ experiments read.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.sim.packet import Color, Packet
+
+
+class QueueStats:
+    """Counters shared by all queue disciplines."""
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.enqueued_bytes = 0
+        self.dropped_bytes = 0
+        self.drops_by_color: Dict[Color, int] = {c: 0 for c in Color}
+        self.accepts_by_color: Dict[Color, int] = {c: 0 for c in Color}
+
+    def record_accept(self, packet: Packet) -> None:
+        self.enqueued += 1
+        self.enqueued_bytes += packet.size
+        self.accepts_by_color[packet.color] += 1
+
+    def record_drop(self, packet: Packet) -> None:
+        self.dropped += 1
+        self.dropped_bytes += packet.size
+        self.drops_by_color[packet.color] += 1
+
+    @property
+    def offered(self) -> int:
+        """Packets offered to the queue (accepted + dropped)."""
+        return self.enqueued + self.dropped
+
+    def drop_ratio(self) -> float:
+        """Fraction of offered packets dropped; 0.0 when nothing offered."""
+        if self.offered == 0:
+            return 0.0
+        return self.dropped / self.offered
+
+
+class DropTailQueue:
+    """FIFO queue with a packet-count and/or byte capacity.
+
+    Parameters
+    ----------
+    capacity_packets:
+        Maximum number of queued packets (``None`` = unlimited).
+    capacity_bytes:
+        Maximum queued bytes (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        capacity_packets: Optional[int] = 100,
+        capacity_bytes: Optional[int] = None,
+    ):
+        if capacity_packets is None and capacity_bytes is None:
+            raise ValueError("queue must bound packets or bytes")
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+        self._items: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def _fits(self, packet: Packet) -> bool:
+        if self.capacity_packets is not None and len(self._items) >= self.capacity_packets:
+            return False
+        if self.capacity_bytes is not None and self._bytes + packet.size > self.capacity_bytes:
+            return False
+        return True
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Accept or tail-drop ``packet``."""
+        if not self._fits(packet):
+            self.stats.record_drop(packet)
+            return False
+        self._items.append(packet)
+        self._bytes += packet.size
+        self.stats.record_accept(packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Pop the head-of-line packet, or None when empty."""
+        if not self._items:
+            return None
+        packet = self._items.popleft()
+        self._bytes -= packet.size
+        self.stats.dequeued += 1
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def byte_count(self) -> int:
+        """Bytes currently queued."""
+        return self._bytes
+
+
+class RedQueue:
+    """Random Early Detection (Floyd & Jacobson 1993 / RFC 2309 defaults).
+
+    The average queue length is an EWMA updated on every arrival; during
+    idle periods it decays as if small packets had been draining at line
+    rate.  Between ``min_th`` and ``max_th`` packets are dropped with a
+    probability that rises linearly to ``max_p`` (with the standard
+    ``count`` correction that spreads drops uniformly); above ``max_th``
+    every arrival is dropped.
+
+    Parameters
+    ----------
+    min_th, max_th:
+        Thresholds in packets.
+    max_p:
+        Drop probability at ``max_th``.
+    weight:
+        EWMA weight ``w_q``.
+    capacity_packets:
+        Hard tail-drop limit.
+    rng:
+        Random stream for drop decisions (injected by the link for
+        determinism).
+    mean_pkt_time:
+        Estimated transmission time of an average packet, used to decay
+        the average during idle periods.
+    """
+
+    def __init__(
+        self,
+        min_th: float = 5,
+        max_th: float = 15,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        capacity_packets: int = 60,
+        rng: Optional[random.Random] = None,
+        mean_pkt_time: float = 0.001,
+    ):
+        if not 0 < min_th < max_th:
+            raise ValueError("need 0 < min_th < max_th")
+        self.min_th = float(min_th)
+        self.max_th = float(max_th)
+        self.max_p = float(max_p)
+        self.weight = float(weight)
+        self.capacity_packets = capacity_packets
+        self.mean_pkt_time = mean_pkt_time
+        self._rng = rng or random.Random(0xDECAF)
+        self._items: Deque[Packet] = deque()
+        self._bytes = 0
+        self.avg = 0.0
+        self._count = -1  # packets since last drop, RED "count" variable
+        self._idle_since: Optional[float] = 0.0
+        self.stats = QueueStats()
+
+    # -- RED average -----------------------------------------------------
+    def _update_avg(self, now: float) -> None:
+        q = len(self._items)
+        if q == 0 and self._idle_since is not None:
+            # decay over the idle period
+            m = max(0.0, (now - self._idle_since) / self.mean_pkt_time)
+            self.avg *= (1.0 - self.weight) ** m
+            self._idle_since = now
+        else:
+            self.avg += self.weight * (q - self.avg)
+
+    def _drop_probability(self) -> float:
+        if self.avg < self.min_th:
+            return 0.0
+        if self.avg >= self.max_th:
+            return 1.0
+        return self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+
+    def _early_drop(self, p_b: float) -> bool:
+        if p_b <= 0.0:
+            self._count = -1
+            return False
+        if p_b >= 1.0:
+            self._count = 0
+            return True
+        self._count += 1
+        denom = 1.0 - self._count * p_b
+        p_a = p_b / denom if denom > 0 else 1.0
+        if self._rng.random() < p_a:
+            self._count = 0
+            return True
+        return False
+
+    # -- queue interface ---------------------------------------------------
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """RED admission: early-drop probabilistically, tail-drop at capacity."""
+        self._update_avg(now)
+        if len(self._items) >= self.capacity_packets or self._early_drop(
+            self._drop_probability()
+        ):
+            self.stats.record_drop(packet)
+            return False
+        self._items.append(packet)
+        self._bytes += packet.size
+        self._idle_since = None
+        self.stats.record_accept(packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._items:
+            return None
+        packet = self._items.popleft()
+        self._bytes -= packet.size
+        self.stats.dequeued += 1
+        if not self._items:
+            self._idle_since = now
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def byte_count(self) -> int:
+        return self._bytes
+
+
+class RioQueue:
+    """RIO — RED with In/Out drop-precedence coupling (Clark & Fang 1998).
+
+    The AF PHB substrate of the paper's §4: in-profile (``GREEN``)
+    packets see a RED curve driven by the *in-profile* average queue
+    only, with generous thresholds; out-of-profile (``YELLOW``/``RED``)
+    packets see an aggressive curve driven by the *total* average.
+    Under congestion, out-profile traffic is therefore dropped first,
+    which is exactly the protection gTFRC's guaranteed rate relies on.
+
+    Parameters mirror :class:`RedQueue`, once per precedence level.
+    """
+
+    def __init__(
+        self,
+        in_min_th: float = 40,
+        in_max_th: float = 70,
+        in_max_p: float = 0.02,
+        out_min_th: float = 10,
+        out_max_th: float = 30,
+        out_max_p: float = 0.10,
+        weight: float = 0.002,
+        capacity_packets: int = 100,
+        rng: Optional[random.Random] = None,
+        mean_pkt_time: float = 0.001,
+    ):
+        self.in_min_th, self.in_max_th, self.in_max_p = in_min_th, in_max_th, in_max_p
+        self.out_min_th, self.out_max_th, self.out_max_p = (
+            out_min_th,
+            out_max_th,
+            out_max_p,
+        )
+        self.weight = weight
+        self.capacity_packets = capacity_packets
+        self.mean_pkt_time = mean_pkt_time
+        self._rng = rng or random.Random(0x510)
+        self._items: Deque[Packet] = deque()
+        self._bytes = 0
+        self._in_count_q = 0  # in-profile packets currently queued
+        self.avg_in = 0.0
+        self.avg_total = 0.0
+        self._count_in = -1
+        self._count_out = -1
+        self._idle_since: Optional[float] = 0.0
+        self.stats = QueueStats()
+
+    @staticmethod
+    def _is_in_profile(packet: Packet) -> bool:
+        return packet.color is Color.GREEN
+
+    def _update_avgs(self, now: float, arriving_in: bool) -> None:
+        q_total = len(self._items)
+        if q_total == 0 and self._idle_since is not None:
+            m = max(0.0, (now - self._idle_since) / self.mean_pkt_time)
+            decay = (1.0 - self.weight) ** m
+            self.avg_in *= decay
+            self.avg_total *= decay
+            self._idle_since = now
+        else:
+            self.avg_total += self.weight * (q_total - self.avg_total)
+            if arriving_in:
+                self.avg_in += self.weight * (self._in_count_q - self.avg_in)
+
+    @staticmethod
+    def _curve(avg: float, min_th: float, max_th: float, max_p: float) -> float:
+        if avg < min_th:
+            return 0.0
+        if avg >= max_th:
+            return 1.0
+        return max_p * (avg - min_th) / (max_th - min_th)
+
+    def _early_drop(self, p_b: float, in_profile: bool) -> bool:
+        count = self._count_in if in_profile else self._count_out
+        if p_b <= 0.0:
+            count = -1
+            drop = False
+        elif p_b >= 1.0:
+            count = 0
+            drop = True
+        else:
+            count += 1
+            denom = 1.0 - count * p_b
+            p_a = p_b / denom if denom > 0 else 1.0
+            drop = self._rng.random() < p_a
+            if drop:
+                count = 0
+        if in_profile:
+            self._count_in = count
+        else:
+            self._count_out = count
+        return drop
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Admit with the precedence-appropriate RED curve."""
+        in_profile = self._is_in_profile(packet)
+        self._update_avgs(now, in_profile)
+        if in_profile:
+            p_b = self._curve(self.avg_in, self.in_min_th, self.in_max_th, self.in_max_p)
+        else:
+            p_b = self._curve(
+                self.avg_total, self.out_min_th, self.out_max_th, self.out_max_p
+            )
+        if len(self._items) >= self.capacity_packets or self._early_drop(
+            p_b, in_profile
+        ):
+            self.stats.record_drop(packet)
+            return False
+        self._items.append(packet)
+        self._bytes += packet.size
+        if in_profile:
+            self._in_count_q += 1
+        self._idle_since = None
+        self.stats.record_accept(packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._items:
+            return None
+        packet = self._items.popleft()
+        self._bytes -= packet.size
+        if self._is_in_profile(packet):
+            self._in_count_q -= 1
+        self.stats.dequeued += 1
+        if not self._items:
+            self._idle_since = now
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def byte_count(self) -> int:
+        return self._bytes

@@ -1,0 +1,152 @@
+"""Packet-level event tracing.
+
+A :class:`PacketTracer` hooks one or more links and records a compact
+event log — ``(time, event, link, flow_id, seq-or-uid, size, color)`` —
+that experiments and debugging sessions can filter and summarize.  The
+hooks are the links' public callbacks plus light wrappers, so tracing
+can be enabled per link with no global switches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+
+class TraceEvent(enum.Enum):
+    """Kind of a traced occurrence."""
+
+    ENQUEUE = "enq"
+    DROP = "drop"
+    TRANSMIT = "tx"
+    DELIVER = "rx"
+    CHANNEL_LOSS = "chloss"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced packet event."""
+
+    time: float
+    event: TraceEvent
+    link: str
+    flow_id: str
+    uid: int
+    size: int
+    color: str
+
+
+class PacketTracer:
+    """Records packet events on instrumented links.
+
+    Parameters
+    ----------
+    flow_filter:
+        When given, only packets of these flow ids are recorded.
+    max_records:
+        Ring-buffer bound; oldest records are discarded beyond it.
+    """
+
+    def __init__(
+        self,
+        flow_filter: Optional[Iterable[str]] = None,
+        max_records: int = 100_000,
+    ):
+        self.flow_filter = set(flow_filter) if flow_filter is not None else None
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped_records = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, link: Link) -> None:
+        """Instrument one link (stackable with existing callbacks)."""
+        self._chain_drop(link)
+        self._wrap_transmission(link)
+
+    def _record(self, link: Link, packet: Packet, event: TraceEvent) -> None:
+        if self.flow_filter is not None and packet.flow_id not in self.flow_filter:
+            return
+        if len(self.records) >= self.max_records:
+            self.records.pop(0)
+            self.dropped_records += 1
+        self.records.append(
+            TraceRecord(
+                time=link.sim.now,
+                event=event,
+                link=link.name,
+                flow_id=packet.flow_id,
+                uid=packet.uid,
+                size=packet.size,
+                color=packet.color.name,
+            )
+        )
+
+    def _chain_drop(self, link: Link) -> None:
+        previous: Optional[Callable[[Packet], None]] = link.on_drop
+
+        def on_drop(packet: Packet) -> None:
+            self._record(link, packet, TraceEvent.DROP)
+            if previous is not None:
+                previous(packet)
+
+        link.on_drop = on_drop
+
+    def _wrap_transmission(self, link: Link) -> None:
+        original_send = link.send
+        original_finish = link._finish_transmission
+        original_deliver = link._deliver
+
+        def send(packet: Packet) -> bool:
+            accepted = original_send(packet)
+            if accepted:
+                self._record(link, packet, TraceEvent.ENQUEUE)
+            return accepted
+
+        def finish(packet: Packet) -> None:
+            self._record(link, packet, TraceEvent.TRANSMIT)
+            losses_before = link.stats.channel_losses
+            original_finish(packet)
+            if link.stats.channel_losses > losses_before:
+                self._record(link, packet, TraceEvent.CHANNEL_LOSS)
+
+        def deliver(packet: Packet) -> None:
+            self._record(link, packet, TraceEvent.DELIVER)
+            original_deliver(packet)
+
+        link.send = send  # type: ignore[method-assign]
+        link._finish_transmission = finish  # type: ignore[method-assign]
+        link._deliver = deliver  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def events_of(self, kind: TraceEvent) -> List[TraceRecord]:
+        """All records of one event kind, in time order."""
+        return [r for r in self.records if r.event is kind]
+
+    def count(self, kind: TraceEvent) -> int:
+        """Number of records of one kind."""
+        return sum(1 for r in self.records if r.event is kind)
+
+    def per_flow_counts(self, kind: TraceEvent) -> dict:
+        """``{flow_id: count}`` for one event kind."""
+        counts: dict = {}
+        for r in self.records:
+            if r.event is kind:
+                counts[r.flow_id] = counts.get(r.flow_id, 0) + 1
+        return counts
+
+    def one_way_delays(self, flow_id: str) -> List[float]:
+        """Enqueue-to-deliver delays per packet uid for one flow."""
+        enqueued = {}
+        delays = []
+        for r in self.records:
+            if r.flow_id != flow_id:
+                continue
+            if r.event is TraceEvent.ENQUEUE and r.uid not in enqueued:
+                enqueued[r.uid] = r.time
+            elif r.event is TraceEvent.DELIVER and r.uid in enqueued:
+                delays.append(r.time - enqueued.pop(r.uid))
+        return delays

@@ -1,0 +1,15 @@
+"""TCP baseline: Reno / NewReno congestion control with optional SACK.
+
+The comparator the paper measures QTPAF against (§4) and the protocol
+whose wireless behaviour motivates TFRC (§2).  The model is
+segment-granular (like ns-2's Agent/TCP): sequence numbers count
+segments, the receiver acknowledges every data segment, and the sender
+implements RFC 5681 congestion control, RFC 6582 NewReno recovery,
+RFC 6298 retransmission timeouts and, optionally, RFC 2018 SACK-based
+recovery via the shared scoreboard.
+"""
+
+from repro.tcp.sender import TcpSender
+from repro.tcp.receiver import TcpReceiver
+
+__all__ = ["TcpSender", "TcpReceiver"]

@@ -1,0 +1,91 @@
+"""The TCP throughput equation (RFC 3448 §3.1).
+
+``X = s / (R*sqrt(2*b*p/3) + t_RTO * (3*sqrt(3*b*p/8)) * p * (1 + 32*p**2))``
+
+where ``s`` is the segment size (bytes), ``R`` the round-trip time,
+``p`` the loss event rate, ``b`` the number of packets acknowledged per
+ACK and ``t_RTO ≈ 4R``.  This is the Padhye et al. (SIGCOMM'98) response
+function; TFRC sends at the rate a conformant TCP would achieve under
+the same loss/RTT conditions, which is the paper's definition of
+TCP-friendliness.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def tcp_throughput(
+    s: float,
+    rtt: float,
+    p: float,
+    t_rto: float | None = None,
+    b: float = 1.0,
+) -> float:
+    """TCP-equation sending rate in **bytes per second**.
+
+    Parameters
+    ----------
+    s: segment size in bytes.
+    rtt: round-trip time in seconds (must be positive).
+    p: loss event rate in (0, 1].
+    t_rto: retransmission timeout; defaults to ``4 * rtt`` per RFC 3448.
+    b: packets acknowledged per ACK (1 without delayed ACKs).
+
+    Returns
+    -------
+    float
+        The equation rate; ``math.inf`` when ``p`` is zero or negative
+        (the equation only constrains the rate once loss is observed).
+    """
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    if p <= 0:
+        return math.inf
+    p = min(p, 1.0)
+    if t_rto is None:
+        t_rto = 4.0 * rtt
+    root_term = rtt * math.sqrt(2.0 * b * p / 3.0)
+    rto_term = t_rto * (3.0 * math.sqrt(3.0 * b * p / 8.0)) * p * (1.0 + 32.0 * p * p)
+    return s / (root_term + rto_term)
+
+
+def solve_loss_rate(
+    s: float,
+    rtt: float,
+    target_rate: float,
+    b: float = 1.0,
+    tolerance: float = 1e-9,
+) -> float:
+    """Invert the equation: the loss event rate that yields ``target_rate``.
+
+    Used by equation-based marking baselines and by tests as an oracle
+    (the equation is strictly decreasing in ``p``, so bisection on
+    ``p ∈ (0, 1]`` converges).
+
+    Parameters
+    ----------
+    target_rate: desired rate in bytes/s (must be positive).
+
+    Returns
+    -------
+    float
+        ``p`` such that ``tcp_throughput(s, rtt, p) ≈ target_rate``,
+        clamped to 1.0 when even ``p = 1`` exceeds the target.
+    """
+    if target_rate <= 0:
+        raise ValueError("target_rate must be positive")
+    lo, hi = 0.0, 1.0
+    if tcp_throughput(s, rtt, hi, b=b) >= target_rate:
+        return 1.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if mid <= 0.0:
+            break
+        if tcp_throughput(s, rtt, mid, b=b) > target_rate:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return hi

@@ -1,0 +1,259 @@
+"""Loss-event detection and the weighted-average loss interval (RFC 3448 §5).
+
+Two classes:
+
+* :class:`LossIntervalHistory` — the pure data structure: the last ``n``
+  closed loss intervals, the open interval, and the weighted average
+  with the RFC's ``1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2`` weights, including
+  the rule that the open interval is only counted when doing so
+  *decreases* the loss event rate (§5.4).
+
+* :class:`LossEventEstimator` — arrival-driven loss detection: a packet
+  is declared lost once ``ndupack`` (3) packets with higher sequence
+  numbers have arrived (§5.1); losses within one RTT of the start of a
+  loss event belong to that event (§5.2).
+
+The estimator is the component whose per-packet cost the paper's
+QTPlight moves off the receiver; both classes charge an injectable
+:class:`~repro.metrics.cost.CostMeter` so experiment T3 can compare the
+work against the QTPlight receiver's SACK bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.metrics.cost import CostMeter, NullMeter
+
+#: RFC 3448 §5.4 weights, most recent interval first.
+RFC3448_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+#: Packets with higher sequence numbers required to declare a loss (§5.1).
+NDUPACK = 3
+
+
+class LossIntervalHistory:
+    """The last ``n`` closed loss intervals and their weighted average.
+
+    An *interval* is the packet count between the first losses of two
+    consecutive loss events.  The *open* interval counts packets since
+    the most recent loss event started and is included in the average
+    only when that lowers the resulting loss event rate, per §5.4.
+    """
+
+    def __init__(
+        self,
+        weights=RFC3448_WEIGHTS,
+        meter: Optional[CostMeter] = None,
+    ):
+        if not weights or any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive")
+        self.weights = tuple(float(w) for w in weights)
+        self.n = len(self.weights)
+        self._intervals: Deque[float] = deque(maxlen=self.n)  # most recent first
+        self.open_interval = 0.0
+        self.meter = meter or NullMeter()
+        self.events = 0
+
+    # ------------------------------------------------------------------
+    def record_event(self, closed_interval: float) -> None:
+        """Start a new loss event, closing the previous interval.
+
+        ``closed_interval`` is the packet count of the interval that
+        just ended (distance between the two events' first losses).
+        """
+        if closed_interval < 0:
+            raise ValueError("interval cannot be negative")
+        self._intervals.appendleft(float(closed_interval))
+        self.open_interval = 0.0
+        self.events += 1
+        self.meter.charge(4)
+        self._account_memory()
+
+    def seed_first_interval(self, interval: float) -> None:
+        """Install the synthetic first interval of §6.3.1.
+
+        After the very first loss event, the history is primed with the
+        interval corresponding to the receive rate observed before the
+        loss, so the sender does not halve its rate more than once.
+        """
+        if self.events != 1 or len(self._intervals) != 1:
+            raise ValueError("can only seed right after the first event")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._intervals[0] = float(interval)
+        self.meter.charge(2)
+
+    def extend_open(self, packets: float = 1.0) -> None:
+        """Count packets into the open (current) interval."""
+        self.open_interval += packets
+        self.meter.charge(1)
+
+    # ------------------------------------------------------------------
+    def average_interval(self) -> float:
+        """Weighted average loss interval per §5.4 (0.0 with no history)."""
+        if not self._intervals:
+            return 0.0
+        closed = list(self._intervals)
+        w = self.weights
+        self.meter.charge(3 * len(closed) + 4)
+        # average over closed intervals only
+        w_used = w[: len(closed)]
+        i_tot1 = sum(wi * ii for wi, ii in zip(w_used, closed))
+        w_tot1 = sum(w_used)
+        # average counting the open interval as most recent
+        shifted = [self.open_interval] + closed[: self.n - 1]
+        w_shift = w[: len(shifted)]
+        i_tot0 = sum(wi * ii for wi, ii in zip(w_shift, shifted))
+        w_tot0 = sum(w_shift)
+        return max(i_tot0 / w_tot0, i_tot1 / w_tot1)
+
+    def loss_event_rate(self) -> float:
+        """``p = 1 / average_interval`` (0.0 before any loss event)."""
+        avg = self.average_interval()
+        if avg <= 0:
+            return 0.0
+        return min(1.0, 1.0 / avg)
+
+    @property
+    def intervals(self) -> List[float]:
+        """Closed intervals, most recent first (copy)."""
+        return list(self._intervals)
+
+    def _account_memory(self) -> None:
+        self.meter.set_resident(8 * len(self._intervals) + 32)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+
+class LossEventEstimator:
+    """Receiver-side RFC 3448 loss machinery (detection + history).
+
+    Feed every arriving data packet via :meth:`on_packet`; read the loss
+    event rate via :meth:`loss_event_rate`.  The caller supplies the
+    sender's RTT estimate (carried in TFRC data headers) used for
+    loss-event clustering, and may supply ``first_interval_fn`` to
+    compute the synthetic first interval of §6.3.1 from the pre-loss
+    receive rate.
+
+    Parameters
+    ----------
+    meter:
+        Cost meter charged for the per-packet work (experiment T3).
+    first_interval_fn:
+        Called once, right after the first loss event, and expected to
+        return the synthetic first interval in packets (or None to keep
+        the raw packet count).
+    max_gap:
+        Safety bound on sequence gaps tracked per packet; beyond it the
+        gap is treated as a restart rather than that many losses.
+    """
+
+    def __init__(
+        self,
+        meter: Optional[CostMeter] = None,
+        first_interval_fn: Optional[Callable[[], Optional[float]]] = None,
+        max_gap: int = 5000,
+    ):
+        self.meter = meter or NullMeter()
+        self.history = LossIntervalHistory(meter=self.meter)
+        self.first_interval_fn = first_interval_fn
+        self.max_gap = max_gap
+        self.max_seq = -1
+        self._pending: Dict[int, float] = {}  # presumed-lost seq -> reveal time
+        self.packets_received = 0
+        self.duplicates = 0
+        self.reordered_recoveries = 0
+        self.confirmed_losses = 0
+        self._last_event_seq: Optional[int] = None
+        self._last_event_time = -1.0
+
+    # ------------------------------------------------------------------
+    def on_packet(self, seq: int, now: float, rtt: float) -> bool:
+        """Record the arrival of data packet ``seq`` at time ``now``.
+
+        ``rtt`` is the sender's RTT estimate from the packet header.
+        Returns True when this arrival *started a new loss event*
+        (receivers send immediate feedback in that case, §6.2).
+        """
+        self.meter.charge(5)
+        self.packets_received += 1
+        if seq > self.max_seq:
+            gap = seq - self.max_seq - 1
+            if gap > self.max_gap:
+                # treat as a restart: drop gap state rather than recording
+                # thousands of losses from a pathological jump
+                self._pending.clear()
+            elif gap > 0:
+                for missing in range(self.max_seq + 1, seq):
+                    self._pending[missing] = now
+                self.meter.charge(2 * gap)
+            self.max_seq = seq
+            if self.history.events:
+                self.history.extend_open(1.0)
+        elif seq in self._pending:
+            del self._pending[seq]
+            self.reordered_recoveries += 1
+            self.meter.charge(2)
+        else:
+            self.duplicates += 1
+            self.meter.charge(1)
+            return False
+        self._account_memory()
+        return self._confirm_losses(rtt)
+
+    def _confirm_losses(self, rtt: float) -> bool:
+        """Promote presumed losses to confirmed ones (NDUPACK rule)."""
+        if not self._pending:
+            return False
+        ripe = sorted(s for s in self._pending if self.max_seq >= s + NDUPACK)
+        if not ripe:
+            return False
+        new_event = False
+        for seq in ripe:
+            loss_time = self._pending.pop(seq)
+            self.confirmed_losses += 1
+            self.meter.charge(4)
+            if (
+                self._last_event_seq is None
+                or loss_time > self._last_event_time + rtt
+            ):
+                new_event = True
+                self._start_event(seq, loss_time)
+        self._account_memory()
+        return new_event
+
+    def _start_event(self, seq: int, loss_time: float) -> None:
+        if self._last_event_seq is None:
+            # first ever loss event: the "closed" interval is everything
+            # received before it; optionally replaced by the synthetic
+            # equation-derived interval of §6.3.1
+            self.history.record_event(max(1, seq))
+            if self.first_interval_fn is not None:
+                synthetic = self.first_interval_fn()
+                if synthetic is not None and synthetic > 0:
+                    self.history.seed_first_interval(synthetic)
+        else:
+            self.history.record_event(max(1, seq - self._last_event_seq))
+        # re-open the running interval at the current max_seq
+        self.history.open_interval = float(max(0, self.max_seq - seq))
+        self._last_event_seq = seq
+        self._last_event_time = loss_time
+
+    # ------------------------------------------------------------------
+    def loss_event_rate(self) -> float:
+        """Current loss event rate ``p`` (0.0 before any loss event)."""
+        return self.history.loss_event_rate()
+
+    @property
+    def loss_events(self) -> int:
+        """Number of loss events recorded."""
+        return self.history.events
+
+    def _account_memory(self) -> None:
+        # intervals + pending-gap map + fixed bookkeeping
+        self.meter.set_resident(
+            8 * len(self.history) + 16 * len(self._pending) + 64
+        )

@@ -1,0 +1,171 @@
+"""Stock RFC 3448 TFRC receiver agent.
+
+Runs the full §5/§6 receiver machinery: loss-event detection, the
+weighted loss-interval history, receive-rate measurement, one feedback
+per RTT plus immediate feedback on a new loss event, and the §6.3.1
+synthetic first interval.
+
+This is deliberately the *heavyweight* receiver whose per-packet cost
+QTPlight removes (experiment T3); it charges an injectable
+:class:`~repro.metrics.cost.CostMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.metrics.cost import CostMeter
+from repro.metrics.recorder import FlowRecorder
+from repro.sim.engine import Simulator, Timer
+from repro.sim.node import Agent
+from repro.sim.packet import (
+    Packet,
+    PacketKind,
+    TfrcDataHeader,
+    TfrcFeedbackHeader,
+)
+from repro.tfrc.equation import solve_loss_rate
+from repro.tfrc.loss_history import LossEventEstimator
+from repro.tfrc.sender import FEEDBACK_SIZE
+
+
+class TfrcReceiver(Agent):
+    """RFC 3448 receiver endpoint.
+
+    Parameters
+    ----------
+    sim: simulator.
+    recorder: optional :class:`FlowRecorder` fed with every delivery.
+    meter: optional cost meter charged for receiver-side work (T3).
+    on_deliver: optional app callback ``fn(packet)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: Optional[FlowRecorder] = None,
+        meter: Optional[CostMeter] = None,
+        on_deliver: Optional[Callable[[Packet], None]] = None,
+    ):
+        super().__init__(sim)
+        self.recorder = recorder
+        self.meter = meter
+        self.on_deliver = on_deliver
+        self.estimator = LossEventEstimator(
+            meter=meter, first_interval_fn=self._synthetic_first_interval
+        )
+        self._feedback_timer = Timer(sim, self._on_feedback_timer)
+        self._rtt_hint = 0.0
+        self._segment_size = 1000
+        self._last_data_ts = 0.0
+        self._last_data_arrival = 0.0
+        self._bytes_since_feedback = 0
+        self._last_feedback_time: Optional[float] = None
+        self._x_recv = 0.0
+        self.feedback_sent = 0
+        self.received_packets = 0
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving data packet."""
+        header = packet.header
+        if not isinstance(header, TfrcDataHeader):
+            return
+        self.received_packets += 1
+        if not self._peer_name:
+            self._peer_name = packet.src
+        self._segment_size = packet.size
+        self._rtt_hint = header.rtt_estimate
+        self._last_data_ts = header.timestamp
+        self._last_data_arrival = self.sim.now
+        self._bytes_since_feedback += packet.size
+        new_event = self.estimator.on_packet(
+            header.seq, self.sim.now, max(header.rtt_estimate, 1e-6)
+        )
+        if self.recorder is not None:
+            self.recorder.record(self.sim.now, packet)
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+        if self._last_feedback_time is None or new_event:
+            # first packet, or a fresh loss event: report immediately (§6.2)
+            self._send_feedback()
+        elif not self._feedback_timer.armed:
+            self._feedback_timer.restart(self._feedback_interval())
+
+    # ------------------------------------------------------------------
+    def _feedback_interval(self) -> float:
+        # one report per RTT; before the sender has an RTT estimate the
+        # data header carries 0, so fall back to a short bootstrap timer
+        return self._rtt_hint if self._rtt_hint > 0 else 0.05
+
+    def _measure_x_recv(self) -> float:
+        if self._last_feedback_time is None:
+            return self._x_recv
+        interval = self.sim.now - self._last_feedback_time
+        if interval < 1e-3:
+            # immediate (loss-triggered) report right after a timed one:
+            # too short a window to measure a rate, keep the previous value
+            return self._x_recv
+        return self._bytes_since_feedback / interval
+
+    def _synthetic_first_interval(self) -> Optional[float]:
+        """§6.3.1: seed the history from the pre-loss receive rate."""
+        rtt = self._rtt_hint
+        rate = self._x_recv if self._x_recv > 0 else self._measure_x_recv()
+        if rtt <= 0 or rate <= 0:
+            return None
+        p = solve_loss_rate(self._segment_size, rtt, rate)
+        if p <= 0:
+            return None
+        return 1.0 / p
+
+    def _on_feedback_timer(self) -> None:
+        # RFC 3448 §6: if no data arrived since the last report, stay
+        # quiet (the sender's nofeedback timer will throttle); the timer
+        # re-arms on the next data arrival.
+        if self._bytes_since_feedback == 0:
+            return
+        self._send_feedback()
+
+    def _send_feedback(self) -> None:
+        if self.node is None or self.received_packets == 0:
+            return
+        self._x_recv = self._measure_x_recv()
+        header = TfrcFeedbackHeader(
+            timestamp_echo=self._last_data_ts,
+            elapsed=self.sim.now - self._last_data_arrival,
+            x_recv=self._x_recv,
+            p=self.estimator.loss_event_rate(),
+            last_seq=self.estimator.max_seq,
+        )
+        # the feedback's destination is the data packets' source flow
+        packet = Packet(
+            src=self.node.name,
+            dst=self._peer_name,
+            flow_id=self.flow_id,
+            size=FEEDBACK_SIZE,
+            kind=PacketKind.FEEDBACK,
+            header=header,
+            created_at=self.sim.now,
+        )
+        self.send(packet)
+        self.feedback_sent += 1
+        self._bytes_since_feedback = 0
+        self._last_feedback_time = self.sim.now
+        self._feedback_timer.restart(self._feedback_interval())
+
+    # ------------------------------------------------------------------
+    _peer_name: str = ""
+
+    def set_peer(self, node_name: str) -> None:
+        """Tell the receiver where to send reports (the sender's node)."""
+        self._peer_name = node_name
+
+    def stop(self) -> None:
+        """Cancel the feedback timer."""
+        self._feedback_timer.stop()
+
+    @property
+    def loss_event_rate(self) -> float:
+        """Receiver's current loss event rate estimate."""
+        return self.estimator.loss_event_rate()

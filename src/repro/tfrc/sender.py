@@ -1,0 +1,148 @@
+"""Stock RFC 3448 TFRC sender agent.
+
+Paces fixed-size data packets at the controller's allowed rate, stamps
+each with its send time and the current RTT estimate, processes
+receiver reports and runs the nofeedback timer.  The sender is
+bulk-source by default (always has data); media-limited senders are
+built in :mod:`repro.core` by composition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator, Timer
+from repro.sim.node import Agent
+from repro.sim.packet import (
+    Packet,
+    PacketKind,
+    TfrcDataHeader,
+    TfrcFeedbackHeader,
+)
+from repro.tfrc.rate_control import TfrcRateController
+
+#: Size of a TFRC feedback packet on the wire (bytes).
+FEEDBACK_SIZE = 40
+
+
+class TfrcSender(Agent):
+    """RFC 3448 sender endpoint.
+
+    Parameters
+    ----------
+    sim: simulator.
+    dst: destination node name (the receiver's node).
+    segment_size: data packet size in bytes.
+    controller: rate controller; a fresh :class:`TfrcRateController`
+        (or the gTFRC subclass) — defaults to stock TFRC.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: str,
+        segment_size: int = 1000,
+        controller: Optional[TfrcRateController] = None,
+    ):
+        super().__init__(sim)
+        self.dst = dst
+        self.segment_size = segment_size
+        self.controller = controller or TfrcRateController(segment_size)
+        self.next_seq = 0
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.feedback_received = 0
+        self._running = False
+        self._send_event = None
+        self._last_send_time = 0.0
+        self._nofeedback = Timer(sim, self._on_nofeedback)
+        self.rate_log: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin paced transmission."""
+        if self._running:
+            return
+        self._running = True
+        self._nofeedback.restart(self.controller.nofeedback_interval())
+        self._send_next()
+
+    def stop(self) -> None:
+        """Stop sending and cancel timers."""
+        self._running = False
+        if self._send_event is not None:
+            self._send_event.cancel()
+            self._send_event = None
+        self._nofeedback.stop()
+
+    # ------------------------------------------------------------------
+    def _send_next(self) -> None:
+        self._send_event = None
+        if not self._running:
+            return
+        self._last_send_time = self.sim.now
+        self._transmit_one()
+        self._send_event = self.sim.schedule(
+            self.controller.send_interval(), self._send_next
+        )
+
+    def _reschedule_send(self) -> None:
+        """Re-pace the pending transmission after a rate increase."""
+        if not self._running or self._send_event is None:
+            return
+        due = max(
+            self.sim.now, self._last_send_time + self.controller.send_interval()
+        )
+        if due >= self._send_event.time:
+            return
+        self._send_event.cancel()
+        self._send_event = self.sim.schedule_at(due, self._send_next)
+
+    def _transmit_one(self) -> None:
+        header = TfrcDataHeader(
+            seq=self.next_seq,
+            timestamp=self.sim.now,
+            rtt_estimate=self.controller.current_rtt or 0.0,
+        )
+        packet = Packet(
+            src=self.node.name if self.node else "?",
+            dst=self.dst,
+            flow_id=self.flow_id,
+            size=self.segment_size,
+            kind=PacketKind.DATA,
+            header=header,
+            created_at=self.sim.now,
+        )
+        self.next_seq += 1
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+        self.send(packet)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Process a receiver report."""
+        header = packet.header
+        if not isinstance(header, TfrcFeedbackHeader):
+            return
+        self.feedback_received += 1
+        rtt_sample = self.sim.now - header.timestamp_echo - header.elapsed
+        if rtt_sample <= 0:
+            rtt_sample = 1e-6
+        self.controller.on_feedback(
+            self.sim.now, header.p, header.x_recv, rtt_sample
+        )
+        self.rate_log.append((self.sim.now, self.controller.rate))
+        self._nofeedback.restart(self.controller.nofeedback_interval())
+        self._reschedule_send()
+
+    def _on_nofeedback(self) -> None:
+        if not self._running:
+            return
+        self.controller.on_nofeedback_timeout(self.sim.now)
+        self.rate_log.append((self.sim.now, self.controller.rate))
+        self._nofeedback.restart(self.controller.nofeedback_interval())
+
+    @property
+    def rate(self) -> float:
+        """Current allowed sending rate, bytes/s."""
+        return self.controller.rate

@@ -1,0 +1,101 @@
+"""Unit tests for the ordered-delivery buffer."""
+
+import pytest
+
+from repro.reliability.delivery import DeliveryBuffer
+from repro.sim.packet import Packet
+
+
+def pkt(seq):
+    return Packet(src="a", dst="b", flow_id="f", size=100, uid=seq + 1)
+
+
+class TestInOrderDelivery:
+    def setup_method(self):
+        self.out = []
+        self.buf = DeliveryBuffer(self.out.append)
+
+    def test_sequential_passes_through(self):
+        for seq in range(3):
+            released = self.buf.push(seq, pkt(seq), now=0.0)
+            assert len(released) == 1
+        assert len(self.out) == 3
+
+    def test_out_of_order_held_back(self):
+        assert self.buf.push(1, pkt(1), 0.0) == []
+        assert self.buf.buffered == 1
+        released = self.buf.push(0, pkt(0), 0.1)
+        assert len(released) == 2
+        assert self.buf.buffered == 0
+
+    def test_duplicates_dropped(self):
+        self.buf.push(0, pkt(0), 0.0)
+        assert self.buf.push(0, pkt(0), 0.1) == []
+        assert self.buf.duplicates == 1
+
+    def test_duplicate_of_buffered(self):
+        self.buf.push(2, pkt(2), 0.0)
+        self.buf.push(2, pkt(2), 0.1)
+        assert self.buf.duplicates == 1
+
+    def test_full_reliability_waits_forever(self):
+        self.buf.push(1, pkt(1), 0.0)
+        assert self.buf.poll(1e9) == []
+        assert self.buf.skipped == 0
+
+
+class TestGapSkipping:
+    def setup_method(self):
+        self.out = []
+        self.buf = DeliveryBuffer(self.out.append, gap_timeout=1.0)
+
+    def test_gap_skipped_after_timeout(self):
+        self.buf.push(0, pkt(0), 0.0)
+        self.buf.push(2, pkt(2), 0.5)  # hole at 1
+        assert self.buf.poll(1.0) == []  # not yet expired
+        released = self.buf.poll(1.6)
+        assert [p.uid for p in released] == [3]
+        assert self.buf.skipped == 1
+
+    def test_push_after_timeout_triggers_skip(self):
+        self.buf.push(0, pkt(0), 0.0)
+        self.buf.push(2, pkt(2), 0.0)
+        released = self.buf.push(4, pkt(4), 2.0)
+        # hole at 1 expired -> 2 released; hole at 3 still fresh
+        assert len(released) == 1
+        assert self.buf.buffered == 1
+
+    def test_late_packet_filling_gap_before_timeout(self):
+        self.buf.push(0, pkt(0), 0.0)
+        self.buf.push(2, pkt(2), 0.1)
+        released = self.buf.push(1, pkt(1), 0.5)
+        assert len(released) == 2
+        assert self.buf.skipped == 0
+
+    def test_validates_timeout(self):
+        with pytest.raises(ValueError):
+            DeliveryBuffer(lambda p: None, gap_timeout=0.0)
+
+
+class TestAdvance:
+    def setup_method(self):
+        self.out = []
+        self.buf = DeliveryBuffer(self.out.append, gap_timeout=10.0)
+
+    def test_advance_skips_holes_and_delivers_buffered(self):
+        self.buf.push(0, pkt(0), 0.0)
+        self.buf.push(2, pkt(2), 0.0)  # hole at 1
+        self.buf.push(5, pkt(5), 0.0)  # holes at 3,4
+        released = self.buf.advance(5, now=0.1)
+        # 2 delivered (hole 1 skipped); 5 delivered too since floor
+        # reaches it and it is next after the skipped 3,4
+        assert [p.uid for p in released] == [3, 6]
+        assert self.buf.skipped == 3
+        assert self.buf.next_seq == 6
+
+    def test_advance_noop_when_floor_behind(self):
+        for seq in range(3):
+            self.buf.push(seq, pkt(seq), 0.0)
+        released = self.buf.advance(1, now=0.1)
+        assert released == []
+        assert self.buf.next_seq == 3

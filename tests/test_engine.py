@@ -1,0 +1,177 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0.5, order.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 1.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # advanced to the horizon
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run() == 7
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "x")
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.cancel(ev)
+        sim.cancel(None)  # tolerated
+        assert sim.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.time == 1.0
+
+
+class TestRandomStreams:
+    def test_streams_are_deterministic_per_seed(self):
+        a = Simulator(seed=42).rng("x").random()
+        b = Simulator(seed=42).rng("x").random()
+        assert a == b
+
+    def test_streams_differ_by_name(self):
+        sim = Simulator(seed=42)
+        assert sim.rng("x").random() != sim.rng("y").random()
+
+    def test_streams_differ_by_seed(self):
+        a = Simulator(seed=1).rng("x").random()
+        b = Simulator(seed=2).rng("x").random()
+        assert a != b
+
+    def test_same_name_returns_same_stream(self):
+        sim = Simulator()
+        assert sim.rng("x") is sim.rng("x")
+
+
+class TestTimer:
+    def test_timer_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.restart(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_supersedes_previous_shot(self):
+        sim = Simulator()
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.restart(1.0)
+        t.restart(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.restart(1.0)
+        t.stop()
+        sim.run()
+        assert fired == []
+        assert not t.armed
+
+    def test_armed_and_expiry(self):
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        assert not t.armed and t.expiry is None
+        t.restart(4.0)
+        assert t.armed and t.expiry == 4.0
+
+    def test_timer_can_rearm_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                t.restart(1.0)
+
+        t = Timer(sim, cb)
+        t.restart(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]

@@ -1,0 +1,67 @@
+"""Unit tests for the TCP throughput equation."""
+
+import math
+
+import pytest
+
+from repro.tfrc.equation import solve_loss_rate, tcp_throughput
+
+
+class TestTcpThroughput:
+    def test_zero_loss_is_unconstrained(self):
+        assert tcp_throughput(1000, 0.1, 0.0) == math.inf
+
+    def test_decreasing_in_loss_rate(self):
+        rates = [tcp_throughput(1000, 0.1, p) for p in (0.001, 0.01, 0.1, 0.5)]
+        assert rates == sorted(rates, reverse=True)
+        assert all(r > 0 for r in rates)
+
+    def test_decreasing_in_rtt(self):
+        fast = tcp_throughput(1000, 0.01, 0.01)
+        slow = tcp_throughput(1000, 0.2, 0.01)
+        assert fast > slow
+
+    def test_proportional_to_segment_size(self):
+        small = tcp_throughput(500, 0.1, 0.01)
+        large = tcp_throughput(1000, 0.1, 0.01)
+        assert large == pytest.approx(2 * small)
+
+    def test_known_value_small_p_approximation(self):
+        # for small p the simple rate ~ s/(R*sqrt(2p/3)) dominates
+        s, rtt, p = 1000, 0.1, 1e-4
+        simple = s / (rtt * math.sqrt(2 * p / 3))
+        assert tcp_throughput(s, rtt, p) == pytest.approx(simple, rel=0.05)
+
+    def test_p_clamped_at_one(self):
+        assert tcp_throughput(1000, 0.1, 1.0) == tcp_throughput(1000, 0.1, 5.0)
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            tcp_throughput(1000, 0.0, 0.01)
+
+    def test_custom_rto(self):
+        default = tcp_throughput(1000, 0.1, 0.05)
+        long_rto = tcp_throughput(1000, 0.1, 0.05, t_rto=2.0)
+        assert long_rto < default
+
+
+class TestSolveLossRate:
+    def test_round_trip_inversion(self):
+        s, rtt = 1000, 0.08
+        for p in (0.001, 0.01, 0.08):
+            rate = tcp_throughput(s, rtt, p)
+            assert solve_loss_rate(s, rtt, rate) == pytest.approx(p, rel=1e-3)
+
+    def test_unreachable_target_clamps_to_one(self):
+        # even p=1 gives more than this absurdly low target
+        low = tcp_throughput(1000, 0.1, 1.0) * 0.5
+        assert solve_loss_rate(1000, 0.1, low) == 1.0
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            solve_loss_rate(1000, 0.1, 0.0)
+
+    def test_higher_target_needs_lower_loss(self):
+        p_low = solve_loss_rate(1000, 0.1, 1e6)
+        p_high = solve_loss_rate(1000, 0.1, 1e5)
+        assert p_low < p_high

@@ -1,0 +1,165 @@
+"""Unit tests for RFC 3448 §5 loss-interval machinery."""
+
+import pytest
+
+from repro.metrics.cost import CostMeter
+from repro.tfrc.loss_history import (
+    NDUPACK,
+    RFC3448_WEIGHTS,
+    LossEventEstimator,
+    LossIntervalHistory,
+)
+
+
+class TestLossIntervalHistory:
+    def test_no_events_means_zero_rate(self):
+        h = LossIntervalHistory()
+        assert h.loss_event_rate() == 0.0
+        assert h.average_interval() == 0.0
+
+    def test_single_interval_average(self):
+        h = LossIntervalHistory()
+        h.record_event(100)
+        assert h.average_interval() == pytest.approx(100)
+        assert h.loss_event_rate() == pytest.approx(0.01)
+
+    def test_weights_favour_recent_intervals(self):
+        h = LossIntervalHistory()
+        for interval in [100] * 8:
+            h.record_event(interval)
+        baseline = h.average_interval()
+        h.record_event(10)  # a recent, much shorter interval
+        assert h.average_interval() < baseline
+
+    def test_history_bounded_to_weight_count(self):
+        h = LossIntervalHistory()
+        for i in range(20):
+            h.record_event(i + 1)
+        assert len(h) == len(RFC3448_WEIGHTS)
+
+    def test_open_interval_counted_only_if_it_helps(self):
+        h = LossIntervalHistory()
+        h.record_event(100)
+        p_closed = h.loss_event_rate()
+        # a short open interval must NOT raise the loss rate
+        h.extend_open(5)
+        assert h.loss_event_rate() == pytest.approx(p_closed)
+        # a long open interval lowers it
+        h.open_interval = 1000
+        assert h.loss_event_rate() < p_closed
+
+    def test_seed_first_interval(self):
+        h = LossIntervalHistory()
+        h.record_event(3)
+        h.seed_first_interval(250)
+        assert h.intervals == [250.0]
+
+    def test_seed_only_valid_right_after_first_event(self):
+        h = LossIntervalHistory()
+        with pytest.raises(ValueError):
+            h.seed_first_interval(10)
+        h.record_event(5)
+        h.record_event(5)
+        with pytest.raises(ValueError):
+            h.seed_first_interval(10)
+
+    def test_rejects_negative_interval(self):
+        h = LossIntervalHistory()
+        with pytest.raises(ValueError):
+            h.record_event(-1)
+
+    def test_loss_rate_capped_at_one(self):
+        h = LossIntervalHistory()
+        h.record_event(0.5)
+        assert h.loss_event_rate() == 1.0
+
+
+class TestLossEventEstimator:
+    def feed(self, est, seqs, rtt=0.1, start=0.0, spacing=0.01):
+        events = []
+        for i, seq in enumerate(seqs):
+            events.append(est.on_packet(seq, start + i * spacing, rtt))
+        return events
+
+    def test_in_order_stream_has_no_losses(self):
+        est = LossEventEstimator()
+        self.feed(est, range(100))
+        assert est.loss_event_rate() == 0.0
+        assert est.confirmed_losses == 0
+
+    def test_gap_confirmed_after_ndupack(self):
+        est = LossEventEstimator()
+        # 0 1 2 [3 lost] 4 5 -> two higher arrivals: not yet confirmed
+        self.feed(est, [0, 1, 2, 4, 5])
+        assert est.confirmed_losses == 0
+        # 6 is the third packet above the hole: loss confirmed (§5.1)
+        est.on_packet(6, 1.0, 0.1)
+        assert est.confirmed_losses == 1
+        assert est.loss_events == 1
+
+    def test_reordered_packet_is_not_a_loss(self):
+        est = LossEventEstimator()
+        self.feed(est, [0, 1, 3, 2, 4, 5, 6, 7])
+        assert est.confirmed_losses == 0
+        assert est.reordered_recoveries == 1
+
+    def test_losses_within_rtt_form_one_event(self):
+        est = LossEventEstimator()
+        # two losses revealed by arrivals 1 ms apart, rtt = 100 ms
+        self.feed(est, [0, 1, 3, 5, 6, 7, 8, 9], spacing=0.001, rtt=0.1)
+        assert est.confirmed_losses == 2
+        assert est.loss_events == 1
+
+    def test_losses_beyond_rtt_are_separate_events(self):
+        est = LossEventEstimator()
+        est.on_packet(0, 0.0, 0.01)
+        est.on_packet(2, 0.1, 0.01)  # gap at 1 revealed at t=0.1
+        est.on_packet(3, 0.2, 0.01)
+        est.on_packet(4, 0.3, 0.01)
+        est.on_packet(5, 0.4, 0.01)  # loss 1 confirmed
+        est.on_packet(7, 1.0, 0.01)  # gap at 6 revealed at t=1.0 (>rtt later)
+        est.on_packet(8, 1.1, 0.01)
+        est.on_packet(9, 1.2, 0.01)
+        est.on_packet(10, 1.3, 0.01)
+        assert est.loss_events == 2
+
+    def test_new_event_signalled_for_immediate_feedback(self):
+        est = LossEventEstimator()
+        # gap at 2; the third higher arrival (5) confirms it
+        signals = self.feed(est, [0, 1, 3, 4, 5, 6])
+        assert signals == [False, False, False, False, True, False]
+
+    def test_duplicates_ignored(self):
+        est = LossEventEstimator()
+        self.feed(est, [0, 1, 2, 2, 2])
+        assert est.duplicates == 2
+        assert est.packets_received == 5
+
+    def test_synthetic_first_interval_used(self):
+        est = LossEventEstimator(first_interval_fn=lambda: 500.0)
+        self.feed(est, [0, 1, 2, 4, 5, 6, 7])
+        assert est.history.intervals == [500.0]
+
+    def test_huge_gap_treated_as_restart(self):
+        est = LossEventEstimator(max_gap=100)
+        est.on_packet(0, 0.0, 0.1)
+        est.on_packet(10_000, 0.1, 0.1)
+        assert len(est._pending) == 0  # not 9999 bogus losses
+
+    def test_meter_charged_per_packet(self):
+        meter = CostMeter()
+        est = LossEventEstimator(meter=meter)
+        self.feed(est, range(50))
+        assert meter.ops > 0
+        assert meter.events > 0
+
+    def test_p_matches_uniform_loss_asymptotically(self):
+        # drop every 50th packet; p should approach 1/50
+        est = LossEventEstimator()
+        t = 0.0
+        for seq in range(3000):
+            if seq % 50 == 25:
+                continue  # lost
+            t += 0.002  # 2 ms spacing; rtt 1 ms keeps events separate
+            est.on_packet(seq, t, 0.001)
+        assert est.loss_event_rate() == pytest.approx(1 / 50, rel=0.25)

@@ -1,0 +1,150 @@
+"""Unit tests for metrics: stats, recorder, cost meters."""
+
+import pytest
+
+from repro.metrics.cost import CostMeter, NullMeter
+from repro.metrics.recorder import FlowRecorder
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    jain_index,
+    mean,
+    normalized_throughput,
+    percentile,
+    stddev,
+    throughput_series,
+)
+from repro.sim.packet import Packet
+
+
+def pkt(size=1000, created=0.0):
+    return Packet(src="a", dst="b", flow_id="f", size=size, created_at=created)
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0
+        assert stddev([5, 5, 5]) == 0
+        assert stddev([2, 4]) == 1.0
+
+    def test_cov(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert coefficient_of_variation([]) == 0.0
+        assert coefficient_of_variation([2, 4]) == pytest.approx(1 / 3)
+
+    def test_jain_perfect_fairness(self):
+        assert jain_index([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_jain_total_unfairness(self):
+        assert jain_index([30, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_jain_requires_values(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile([7.0], 95) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_throughput_series(self):
+        events = [(0.5, 100), (1.5, 200), (1.9, 100)]
+        series = throughput_series(events, bin_width=1.0, end=3.0)
+        assert series == [100.0, 300.0, 0.0]
+
+    def test_normalized_throughput(self):
+        assert normalized_throughput(2.0, 4.0) == 0.5
+        with pytest.raises(ValueError):
+            normalized_throughput(1.0, 0.0)
+
+
+class TestFlowRecorder:
+    def test_mean_rate_over_window(self):
+        rec = FlowRecorder()
+        rec.record(1.0, pkt(size=1000))
+        rec.record(2.0, pkt(size=1000))
+        rec.record(3.0, pkt(size=1000))
+        # 2000 bytes in (1, 3]
+        assert rec.mean_rate(start=1.0, end=3.0) == pytest.approx(1000.0)
+        assert rec.mean_rate_bps(start=1.0, end=3.0) == pytest.approx(8000.0)
+
+    def test_empty_recorder(self):
+        rec = FlowRecorder()
+        assert rec.mean_rate() == 0.0
+        assert rec.series(1.0) == []
+
+    def test_latencies(self):
+        rec = FlowRecorder()
+        rec.record(2.0, pkt(created=1.5))
+        assert rec.latencies == [0.5]
+
+    def test_series_binning(self):
+        rec = FlowRecorder()
+        rec.record(0.2, pkt(size=500))
+        rec.record(1.7, pkt(size=1500))
+        series = rec.series(1.0, end=2.0)
+        assert series == [500.0, 1500.0]
+
+    def test_series_validates_bin(self):
+        rec = FlowRecorder()
+        with pytest.raises(ValueError):
+            rec.series(0.0)
+
+    def test_counters(self):
+        rec = FlowRecorder()
+        rec.record(0.0, pkt())
+        rec.record_bytes(1.0, 300, latency=0.1)
+        assert rec.delivered_packets == 2
+        assert rec.delivered_bytes == 1300
+        assert rec.first_time == 0.0 and rec.last_time == 1.0
+
+
+class TestCostMeter:
+    def test_charges_accumulate(self):
+        m = CostMeter("x")
+        m.charge(3)
+        m.charge()
+        assert m.ops == 4 and m.events == 2
+        assert m.ops_per_event() == 2.0
+
+    def test_memory_high_water_mark(self):
+        m = CostMeter()
+        m.alloc(100)
+        m.alloc(50)
+        m.free(120)
+        assert m.resident_bytes == 30
+        assert m.peak_bytes == 150
+
+    def test_free_floors_at_zero(self):
+        m = CostMeter()
+        m.free(10)
+        assert m.resident_bytes == 0
+
+    def test_set_resident(self):
+        m = CostMeter()
+        m.set_resident(500)
+        m.set_resident(200)
+        assert m.resident_bytes == 200
+        assert m.peak_bytes == 500
+
+    def test_reset(self):
+        m = CostMeter()
+        m.charge(5)
+        m.alloc(10)
+        m.reset()
+        assert m.ops == 0 and m.peak_bytes == 0
+
+    def test_null_meter_ignores_everything(self):
+        m = NullMeter()
+        m.charge(100)
+        m.alloc(100)
+        m.set_resident(9)
+        assert m.ops == 0 and m.resident_bytes == 0

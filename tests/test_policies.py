@@ -1,0 +1,87 @@
+"""Unit tests for reliability policies."""
+
+import pytest
+
+from repro.core.profile import ReliabilityMode, TransportProfile
+from repro.reliability.policies import (
+    CountBoundedReliability,
+    FullReliability,
+    NoReliability,
+    TimeBoundedReliability,
+    policy_for,
+)
+from repro.sack.scoreboard import SentRecord
+from repro.sim.packet import AppDataHeader
+
+
+def record(send_time=0.0, retx=0, deadline=None):
+    app = AppDataHeader(app_seq=0, deadline=deadline) if deadline else None
+    rec = SentRecord(seq=0, size=1000, send_time=send_time, app=app)
+    rec.retx_count = retx
+    return rec
+
+
+class TestPolicies:
+    def test_none_never(self):
+        assert not NoReliability().should_retransmit(record(), 1.0, 0.1)
+
+    def test_full_always(self):
+        rec = record(retx=100)
+        assert FullReliability().should_retransmit(rec, 1e6, 10.0)
+
+    def test_time_bounded_respects_explicit_deadline(self):
+        policy = TimeBoundedReliability(default_lifetime=0.5)
+        rec = record(deadline=2.0)
+        assert policy.should_retransmit(rec, 1.5, rtt=0.2)  # 1.6 < 2.0
+        assert not policy.should_retransmit(rec, 1.95, rtt=0.2)  # 2.05 > 2.0
+
+    def test_time_bounded_default_lifetime(self):
+        policy = TimeBoundedReliability(default_lifetime=1.0)
+        rec = record(send_time=0.0)
+        assert policy.should_retransmit(rec, 0.5, rtt=0.2)
+        assert not policy.should_retransmit(rec, 1.2, rtt=0.2)
+
+    def test_time_bounded_accounts_for_trip_time(self):
+        policy = TimeBoundedReliability(default_lifetime=1.0)
+        rec = record(send_time=0.0)
+        # deadline at 1.0; at t=0.9 a 0.3 s one-way trip misses it
+        assert not policy.should_retransmit(rec, 0.9, rtt=0.6)
+
+    def test_count_bounded(self):
+        policy = CountBoundedReliability(max_retx=2)
+        assert policy.should_retransmit(record(retx=0), 0.0, 0.1)
+        assert policy.should_retransmit(record(retx=1), 0.0, 0.1)
+        assert not policy.should_retransmit(record(retx=2), 0.0, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeBoundedReliability(0.0)
+        with pytest.raises(ValueError):
+            CountBoundedReliability(-1)
+
+
+class TestPolicyFor:
+    def make_profile(self, mode, **kw):
+        return TransportProfile(reliability=mode, **kw)
+
+    def test_mapping(self):
+        assert isinstance(
+            policy_for(self.make_profile(ReliabilityMode.NONE)), NoReliability
+        )
+        assert isinstance(
+            policy_for(self.make_profile(ReliabilityMode.FULL)), FullReliability
+        )
+
+    def test_partial_time_uses_profile_deadline(self):
+        policy = policy_for(
+            self.make_profile(ReliabilityMode.PARTIAL_TIME, partial_deadline=2.5)
+        )
+        assert isinstance(policy, TimeBoundedReliability)
+        assert policy.default_lifetime == 2.5
+
+    def test_partial_count_uses_profile_budget(self):
+        policy = policy_for(
+            self.make_profile(ReliabilityMode.PARTIAL_COUNT, partial_max_retx=7)
+        )
+        assert isinstance(policy, CountBoundedReliability)
+        assert policy.max_retx == 7

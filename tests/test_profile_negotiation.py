@@ -1,0 +1,128 @@
+"""Unit tests for transport profiles and capability negotiation."""
+
+import pytest
+
+from repro.core.instances import QTPAF, QTPLIGHT, TCP_LIKE, TFRC_MEDIA
+from repro.core.negotiation import CapabilitySet, NegotiationError, negotiate
+from repro.core.profile import (
+    CongestionControl,
+    LossEstimationSite,
+    ProfileError,
+    ReliabilityMode,
+    TransportProfile,
+)
+
+
+class TestProfileValidation:
+    def test_gtfrc_requires_target(self):
+        with pytest.raises(ProfileError):
+            TransportProfile(congestion_control=CongestionControl.GTFRC)
+
+    def test_segment_size_positive(self):
+        with pytest.raises(ProfileError):
+            TransportProfile(segment_size=0)
+
+    def test_needs_sack_feedback(self):
+        assert QTPLIGHT.needs_sack_feedback  # sender estimation
+        assert QTPAF(1e6).needs_sack_feedback  # reliability
+        assert not TFRC_MEDIA.needs_sack_feedback
+
+    def test_receiver_runs_estimator(self):
+        assert TFRC_MEDIA.receiver_runs_estimator
+        assert not QTPLIGHT.receiver_runs_estimator
+
+    def test_target_rate_conversion(self):
+        p = QTPAF(8e6)
+        assert p.target_rate_bytes == pytest.approx(1e6)
+        assert TFRC_MEDIA.target_rate_bytes is None
+
+    def test_with_target_rate(self):
+        p = QTPAF(1e6).with_target_rate(2e6)
+        assert p.target_rate_bps == 2e6
+
+    def test_wire_round_trip(self):
+        for profile in (QTPAF(3e6), QTPLIGHT, TFRC_MEDIA, TCP_LIKE):
+            assert TransportProfile.from_wire(profile.to_wire()) == profile
+
+    def test_describe_mentions_guarantee(self):
+        assert "g=3.00Mbit/s" in QTPAF(3e6).describe()
+
+
+class TestInstances:
+    def test_qtpaf_composition(self):
+        p = QTPAF(5e6)
+        assert p.congestion_control is CongestionControl.GTFRC
+        assert p.reliability is ReliabilityMode.FULL
+        assert p.loss_estimation is LossEstimationSite.RECEIVER
+        assert p.name == "QTPAF"
+
+    def test_qtplight_composition(self):
+        assert QTPLIGHT.congestion_control is CongestionControl.TFRC
+        assert QTPLIGHT.loss_estimation is LossEstimationSite.SENDER
+        assert QTPLIGHT.reliability is ReliabilityMode.NONE
+
+    def test_qtpaf_overrides(self):
+        p = QTPAF(5e6, segment_size=500)
+        assert p.segment_size == 500
+
+
+class TestNegotiation:
+    def test_symmetric_defaults_pick_initiator_preference(self):
+        profile = negotiate(CapabilitySet(), CapabilitySet())
+        assert profile.congestion_control is CongestionControl.TFRC
+        assert profile.reliability is ReliabilityMode.NONE
+        assert profile.loss_estimation is LossEstimationSite.RECEIVER
+
+    def test_light_receiver_forces_sender_estimation(self):
+        mobile = CapabilitySet(light_receiver=True)
+        profile = negotiate(CapabilitySet(), mobile)
+        assert profile.loss_estimation is LossEstimationSite.SENDER
+        assert profile.name == "QTPlight"
+
+    def test_light_receiver_without_sender_support_fails(self):
+        mobile = CapabilitySet(light_receiver=True)
+        rigid = CapabilitySet(
+            estimation_sites=(LossEstimationSite.RECEIVER,)
+        )
+        with pytest.raises(NegotiationError):
+            negotiate(rigid, mobile)
+
+    def test_qos_request_selects_gtfrc(self):
+        caps = CapabilitySet(
+            congestion_controls=(CongestionControl.TFRC, CongestionControl.GTFRC),
+            qos_target_bps=4e6,
+            reliability_modes=(ReliabilityMode.FULL,),
+        )
+        profile = negotiate(caps, CapabilitySet(
+            reliability_modes=(ReliabilityMode.FULL, ReliabilityMode.NONE)))
+        assert profile.congestion_control is CongestionControl.GTFRC
+        assert profile.target_rate_bps == 4e6
+        assert profile.name == "QTPAF"
+
+    def test_qos_degrades_gracefully(self):
+        wants_qos = CapabilitySet(qos_target_bps=4e6)
+        no_gtfrc = CapabilitySet(congestion_controls=(CongestionControl.TFRC,))
+        profile = negotiate(wants_qos, no_gtfrc)
+        assert profile.congestion_control is CongestionControl.TFRC
+        assert profile.target_rate_bps is None
+
+    def test_strict_qos_refuses_degradation(self):
+        wants_qos = CapabilitySet(qos_target_bps=4e6, strict_qos=True)
+        no_gtfrc = CapabilitySet(congestion_controls=(CongestionControl.TFRC,))
+        with pytest.raises(NegotiationError):
+            negotiate(wants_qos, no_gtfrc)
+
+    def test_no_common_reliability_fails(self):
+        a = CapabilitySet(reliability_modes=(ReliabilityMode.FULL,))
+        b = CapabilitySet(reliability_modes=(ReliabilityMode.NONE,))
+        with pytest.raises(NegotiationError):
+            negotiate(a, b)
+
+    def test_smaller_segment_wins(self):
+        a = CapabilitySet(segment_size=1500)
+        b = CapabilitySet(segment_size=576)
+        assert negotiate(a, b).segment_size == 576
+
+    def test_capability_wire_round_trip(self):
+        caps = CapabilitySet(light_receiver=True, qos_target_bps=2e6)
+        assert CapabilitySet.from_wire(caps.to_wire()) == caps

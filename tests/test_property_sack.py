@@ -1,0 +1,167 @@
+"""Property-based tests for SACK receiver state and the scoreboard.
+
+The receiver state is checked against a trivially correct set-based
+model; the scoreboard against conservation invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sack.blocks import ReceiverSackState
+from repro.sack.scoreboard import SenderScoreboard
+
+seq_lists = st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300)
+
+
+class TestReceiverStateModel:
+    @given(seq_lists)
+    def test_cum_ack_matches_set_model(self, seqs):
+        state = ReceiverSackState()
+        model = set()
+        for seq in seqs:
+            state.record(seq)
+            model.add(seq)
+        expected = -1
+        while expected + 1 in model:
+            expected += 1
+        assert state.cum_ack == expected
+
+    @given(seq_lists)
+    def test_intervals_exactly_cover_out_of_order_set(self, seqs):
+        state = ReceiverSackState()
+        model = set()
+        for seq in seqs:
+            state.record(seq)
+            model.add(seq)
+        covered = set()
+        for start, end in zip(state._starts, state._ends):
+            assert start < end
+            covered.update(range(start, end))
+        above = {s for s in model if s > state.cum_ack}
+        assert covered == above
+
+    @given(seq_lists)
+    def test_intervals_sorted_and_disjoint(self, seqs):
+        state = ReceiverSackState()
+        for seq in seqs:
+            state.record(seq)
+        for i in range(1, state.interval_count):
+            # gap of at least one missing seq between intervals
+            assert state._starts[i] > state._ends[i - 1]
+
+    @given(seq_lists)
+    def test_duplicate_detection_matches_model(self, seqs):
+        state = ReceiverSackState()
+        model = set()
+        dups = 0
+        for seq in seqs:
+            if seq in model:
+                dups += 1
+            model.add(seq)
+            state.record(seq)
+        assert state.duplicates == dups
+        assert state.received == len(model)
+
+    @given(seq_lists, st.integers(min_value=0, max_value=220))
+    def test_advance_floor_preserves_coverage_above(self, seqs, floor):
+        state = ReceiverSackState()
+        model = set()
+        for seq in seqs:
+            state.record(seq)
+            model.add(seq)
+        state.advance_floor(floor)
+        # everything below the floor is considered received now
+        assert state.cum_ack >= floor - 1
+        covered = set()
+        for start, end in zip(state._starts, state._ends):
+            covered.update(range(start, end))
+        assert covered == {s for s in model if s > state.cum_ack}
+
+    @given(seq_lists, st.integers(min_value=1, max_value=5))
+    def test_blocks_subset_of_intervals(self, seqs, limit):
+        state = ReceiverSackState()
+        for seq in seqs:
+            state.record(seq)
+        blocks = state.blocks(limit)
+        assert len(blocks) <= limit
+        intervals = set(zip(state._starts, state._ends))
+        assert all(b in intervals for b in blocks)
+
+
+@st.composite
+def feedback_script(draw):
+    """A plausible (cum_ack, blocks) report sequence over 100 packets."""
+    n = draw(st.integers(min_value=5, max_value=100))
+    reports = []
+    for _ in range(draw(st.integers(min_value=1, max_value=10))):
+        cum = draw(st.integers(min_value=-1, max_value=n - 1))
+        blocks = []
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            start = draw(st.integers(min_value=0, max_value=n - 1))
+            end = draw(st.integers(min_value=start + 1, max_value=n))
+            blocks.append((start, end))
+        reports.append((cum, tuple(blocks)))
+    return n, reports
+
+
+class TestScoreboardInvariants:
+    @given(feedback_script())
+    @settings(max_examples=200)
+    def test_conservation(self, script):
+        n, reports = script
+        sb = SenderScoreboard()
+        for seq in range(n):
+            sb.on_send(seq, 1000, seq * 0.01)
+        for i, (cum, blocks) in enumerate(reports):
+            sb.on_feedback(cum, blocks, 1.0 + i)
+        # every sent packet is outstanding or was cumulatively acked
+        assert sb.outstanding <= n
+        assert sb.total_acked <= n
+        assert sb.pipe() <= sb.outstanding
+        assert sb.cum_ack <= n - 1
+
+    @given(feedback_script())
+    @settings(max_examples=200)
+    def test_no_packet_acked_twice(self, script):
+        n, reports = script
+        sb = SenderScoreboard()
+        for seq in range(n):
+            sb.on_send(seq, 1000, seq * 0.01)
+        seen = []
+        for i, (cum, blocks) in enumerate(reports):
+            digest = sb.on_feedback(cum, blocks, 1.0 + i)
+            seen.extend(r.seq for r in digest.newly_acked)
+        assert len(seen) == len(set(seen))
+
+    @given(feedback_script())
+    @settings(max_examples=200)
+    def test_lost_packets_are_real_holes(self, script):
+        n, reports = script
+        sb = SenderScoreboard()
+        for seq in range(n):
+            sb.on_send(seq, 1000, seq * 0.01)
+        sacked = set()
+        cum_max = -1
+        for i, (cum, blocks) in enumerate(reports):
+            digest = sb.on_feedback(cum, blocks, 1.0 + i)
+            cum_max = max(cum_max, cum)
+            for start, end in blocks:
+                sacked.update(range(start, end))
+            for rec in digest.newly_lost:
+                assert rec.seq not in sacked
+                assert rec.seq > cum_max
+                # at least 3 SACKed above it
+                assert sum(1 for s in sacked if s > rec.seq) >= 3
+
+    @given(feedback_script())
+    @settings(max_examples=100)
+    def test_forward_point_below_unsacked(self, script):
+        n, reports = script
+        sb = SenderScoreboard()
+        for seq in range(n):
+            sb.on_send(seq, 1000, seq * 0.01)
+        for i, (cum, blocks) in enumerate(reports):
+            sb.on_feedback(cum, blocks, 1.0 + i)
+        fp = sb.forward_point(default=n)
+        for seq, rec in sb._outstanding.items():
+            if not rec.sacked:
+                assert fp <= seq

@@ -1,0 +1,94 @@
+"""Unit tests for QTPlight machinery: sender-side estimation, lying filters."""
+
+import pytest
+
+from repro.core.qtplight import LyingFeedbackFilter, SenderLossEstimator
+from repro.metrics.cost import CostMeter
+from repro.sack.scoreboard import SentRecord
+from repro.sim.packet import SackFeedbackHeader, TfrcFeedbackHeader
+
+
+def rec(seq, send_time):
+    return SentRecord(seq=seq, size=1000, send_time=send_time)
+
+
+class TestSenderLossEstimator:
+    def test_no_losses_zero_rate(self):
+        est = SenderLossEstimator()
+        est.on_acked([rec(i, i * 0.01) for i in range(50)])
+        assert est.loss_event_rate() == 0.0
+
+    def test_single_loss_event(self):
+        est = SenderLossEstimator()
+        est.on_acked([rec(i, i * 0.01) for i in range(100)])
+        new = est.on_lost([rec(100, 1.0)], rtt=0.05)
+        assert new is True
+        assert est.loss_events == 1
+        assert est.loss_event_rate() > 0
+
+    def test_losses_within_rtt_cluster(self):
+        est = SenderLossEstimator()
+        est.on_acked([rec(i, i * 0.001) for i in range(100)])
+        # three losses sent within 5 ms, rtt 50 ms: one event
+        est.on_lost([rec(100, 1.0), rec(101, 1.002), rec(102, 1.004)], rtt=0.05)
+        assert est.loss_events == 1
+
+    def test_losses_beyond_rtt_separate(self):
+        est = SenderLossEstimator()
+        est.on_acked([rec(i, i * 0.001) for i in range(100)])
+        est.on_lost([rec(100, 1.0)], rtt=0.05)
+        est.on_acked([rec(i, 1.0 + (i - 100) * 0.001) for i in range(101, 200)])
+        est.on_lost([rec(200, 2.0)], rtt=0.05)
+        assert est.loss_events == 2
+        # interval between events = 100 packets
+        assert est.history.intervals[0] == pytest.approx(100)
+
+    def test_open_interval_grows_with_acks(self):
+        est = SenderLossEstimator()
+        est.on_acked([rec(i, i * 0.001) for i in range(10)])
+        est.on_lost([rec(10, 0.1)], rtt=0.01)
+        p_before = est.loss_event_rate()
+        est.on_acked([rec(i, 1.0) for i in range(11, 800)])
+        assert est.loss_event_rate() < p_before
+
+    def test_synthetic_first_interval_from_x_recv(self):
+        est = SenderLossEstimator(segment_size=1000)
+        est.on_acked([rec(i, i * 0.001) for i in range(5)])
+        est.on_lost([rec(5, 0.1)], rtt=0.1, x_recv=125_000.0)
+        # seeded interval should far exceed the raw 5 packets
+        assert est.history.intervals[0] > 5
+
+    def test_meter_charged(self):
+        meter = CostMeter()
+        est = SenderLossEstimator(meter=meter)
+        est.on_acked([rec(0, 0.0)])
+        est.on_lost([rec(1, 0.1)], rtt=0.05)
+        assert meter.ops > 0
+
+
+class TestLyingFilter:
+    def test_tfrc_mangling(self):
+        flt = LyingFeedbackFilter(p_scale=0.0, x_scale=2.0)
+        hdr = TfrcFeedbackHeader(
+            timestamp_echo=0.0, elapsed=0.0, x_recv=1000.0, p=0.05, last_seq=9
+        )
+        out = flt.mangle_tfrc(hdr)
+        assert out.p == 0.0
+        assert out.x_recv == 2000.0
+        assert flt.mangled_reports == 1
+
+    def test_sack_mangling_hides_holes(self):
+        flt = LyingFeedbackFilter()
+        hdr = SackFeedbackHeader(
+            cum_ack=10, blocks=((15, 20),), timestamp_echo=0.0,
+            elapsed=0.0, recv_bytes=5000, last_seq=19,
+        )
+        out = flt.mangle_sack(hdr)
+        assert out.cum_ack == 19
+        assert out.blocks == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LyingFeedbackFilter(p_scale=-1)
+        with pytest.raises(ValueError):
+            LyingFeedbackFilter(x_scale=0.0)

@@ -1,0 +1,173 @@
+"""Unit tests for queue disciplines (DropTail, RED, RIO)."""
+
+import random
+
+import pytest
+
+from repro.sim.packet import Color, Packet
+from repro.sim.queues import DropTailQueue, RedQueue, RioQueue
+
+
+def pkt(seq=0, size=1000, color=Color.RED):
+    return Packet(src="a", dst="b", flow_id="f", size=size, color=color)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity_packets=10)
+        first, second = pkt(), pkt()
+        q.enqueue(first, 0.0)
+        q.enqueue(second, 0.0)
+        assert q.dequeue(0.0) is first
+        assert q.dequeue(0.0) is second
+        assert q.dequeue(0.0) is None
+
+    def test_packet_capacity_tail_drop(self):
+        q = DropTailQueue(capacity_packets=2)
+        assert q.enqueue(pkt(), 0.0)
+        assert q.enqueue(pkt(), 0.0)
+        assert not q.enqueue(pkt(), 0.0)
+        assert q.stats.dropped == 1
+        assert len(q) == 2
+
+    def test_byte_capacity(self):
+        q = DropTailQueue(capacity_packets=None, capacity_bytes=2500)
+        assert q.enqueue(pkt(size=1000), 0.0)
+        assert q.enqueue(pkt(size=1000), 0.0)
+        assert not q.enqueue(pkt(size=1000), 0.0)
+        assert q.byte_count == 2000
+
+    def test_needs_some_bound(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=None, capacity_bytes=None)
+
+    def test_byte_count_tracks_dequeue(self):
+        q = DropTailQueue(capacity_packets=10)
+        q.enqueue(pkt(size=700), 0.0)
+        assert q.byte_count == 700
+        q.dequeue(0.0)
+        assert q.byte_count == 0
+
+    def test_drop_ratio(self):
+        q = DropTailQueue(capacity_packets=1)
+        q.enqueue(pkt(), 0.0)
+        q.enqueue(pkt(), 0.0)
+        assert q.stats.drop_ratio() == pytest.approx(0.5)
+
+    def test_drops_counted_by_color(self):
+        q = DropTailQueue(capacity_packets=1)
+        q.enqueue(pkt(color=Color.GREEN), 0.0)
+        q.enqueue(pkt(color=Color.GREEN), 0.0)
+        assert q.stats.drops_by_color[Color.GREEN] == 1
+        assert q.stats.accepts_by_color[Color.GREEN] == 1
+
+
+class TestRed:
+    def test_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            RedQueue(min_th=10, max_th=5)
+
+    def test_no_drops_below_min_threshold(self):
+        q = RedQueue(min_th=5, max_th=15, capacity_packets=60)
+        for _ in range(4):
+            assert q.enqueue(pkt(), 0.0)
+        assert q.stats.dropped == 0
+
+    def test_hard_drop_at_capacity(self):
+        q = RedQueue(min_th=5, max_th=15, capacity_packets=8)
+        accepted = sum(1 for _ in range(20) if q.enqueue(pkt(), 0.0))
+        assert accepted <= 8
+
+    def test_early_drops_between_thresholds(self):
+        rng = random.Random(7)
+        q = RedQueue(min_th=2, max_th=6, max_p=0.5, weight=0.5,
+                     capacity_packets=100, rng=rng)
+        drops = 0
+        for i in range(200):
+            if not q.enqueue(pkt(), i * 0.001):
+                drops += 1
+            if len(q) > 4:
+                q.dequeue(i * 0.001)
+        assert drops > 0  # RED dropped before the hard limit
+        assert len(q) < 100
+
+    def test_average_decays_when_idle(self):
+        q = RedQueue(min_th=2, max_th=6, weight=0.5, mean_pkt_time=0.001)
+        for i in range(6):
+            q.enqueue(pkt(), 0.0)
+        while q.dequeue(0.001) is not None:
+            pass
+        avg_busy = q.avg
+        q.enqueue(pkt(), 1.0)  # long idle gap
+        assert q.avg < avg_busy
+
+    def test_deterministic_with_seeded_rng(self):
+        def run():
+            q = RedQueue(min_th=2, max_th=8, max_p=0.3, weight=0.3,
+                         rng=random.Random(3))
+            outcomes = []
+            for i in range(100):
+                outcomes.append(q.enqueue(pkt(), i * 0.01))
+                if i % 2:
+                    q.dequeue(i * 0.01)
+            return outcomes
+
+        assert run() == run()
+
+
+class TestRio:
+    def make(self, **kw):
+        params = dict(
+            in_min_th=10, in_max_th=20, in_max_p=0.02,
+            out_min_th=2, out_max_th=6, out_max_p=0.5,
+            weight=0.5, capacity_packets=50, rng=random.Random(5),
+        )
+        params.update(kw)
+        return RioQueue(**params)
+
+    def test_out_profile_dropped_preferentially(self):
+        q = self.make()
+        green_drops = out_drops = 0
+        for i in range(400):
+            color = Color.GREEN if i % 2 == 0 else Color.RED
+            if not q.enqueue(pkt(color=color), i * 0.001):
+                if color is Color.GREEN:
+                    green_drops += 1
+                else:
+                    out_drops += 1
+            if len(q) > 8:
+                q.dequeue(i * 0.001)
+        assert out_drops > 0
+        assert out_drops > 10 * max(1, green_drops)
+
+    def test_green_protected_when_in_profile_light(self):
+        q = self.make()
+        # only green traffic, held under the in-profile threshold
+        for i in range(100):
+            q.enqueue(pkt(color=Color.GREEN), i * 0.01)
+            q.dequeue(i * 0.01)
+        assert q.stats.drops_by_color[Color.GREEN] == 0
+
+    def test_yellow_treated_as_out_of_profile(self):
+        q = self.make()
+        drops = 0
+        for i in range(200):
+            if not q.enqueue(pkt(color=Color.YELLOW), 0.0):
+                drops += 1
+        assert drops > 0  # yellow hits the aggressive curve/capacity
+
+    def test_fifo_across_colors(self):
+        q = self.make()
+        a, b = pkt(color=Color.GREEN), pkt(color=Color.RED)
+        q.enqueue(a, 0.0)
+        q.enqueue(b, 0.0)
+        assert q.dequeue(0.0) is a
+        assert q.dequeue(0.0) is b
+
+    def test_in_profile_count_tracked(self):
+        q = self.make()
+        q.enqueue(pkt(color=Color.GREEN), 0.0)
+        q.enqueue(pkt(color=Color.RED), 0.0)
+        assert q._in_count_q == 1
+        q.dequeue(0.0)
+        assert q._in_count_q == 0

@@ -1,0 +1,161 @@
+"""Unit tests for the TFRC rate controller and gTFRC."""
+
+import pytest
+
+from repro.tfrc.gtfrc import GtfrcRateController
+from repro.tfrc.rate_control import T_MBI, TfrcRateController
+from repro.tfrc.equation import tcp_throughput
+
+
+class TestStartup:
+    def test_initial_rate_one_packet_per_second(self):
+        c = TfrcRateController(segment_size=1000)
+        assert c.rate == 1000.0
+        assert c.send_interval() == pytest.approx(1.0)
+
+    def test_first_feedback_sets_initial_window_rate(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(now=1.0, p=0.0, x_recv=1000.0, rtt_sample=0.1)
+        assert c.rate == pytest.approx(c.initial_window_rate(0.1))
+
+    def test_initial_window_follows_rfc3390(self):
+        c = TfrcRateController(segment_size=1000)
+        assert c.initial_window_rate(1.0) == pytest.approx(4000.0)
+        c_small = TfrcRateController(segment_size=200)
+        # min(4*200, max(2*200, 4380)) = 800
+        assert c_small.initial_window_rate(1.0) == pytest.approx(800.0)
+
+    def test_validates_segment_size(self):
+        with pytest.raises(ValueError):
+            TfrcRateController(segment_size=0)
+
+
+class TestSlowStart:
+    def feedbacks(self, c, n, x_recv, rtt=0.1, start=1.0):
+        for i in range(n):
+            c.on_feedback(start + i * rtt, 0.0, x_recv, rtt)
+
+    def test_doubles_once_per_rtt_capped_by_x_recv(self):
+        c = TfrcRateController(segment_size=1000)
+        self.feedbacks(c, 1, x_recv=50_000)
+        first = c.rate
+        self.feedbacks(c, 1, x_recv=50_000, start=1.1)
+        assert first < c.rate <= 2 * 50_000
+
+    def test_zero_x_recv_collapses_to_one_packet_per_rtt(self):
+        c = TfrcRateController(segment_size=1000)
+        self.feedbacks(c, 1, x_recv=10_000)
+        c.on_feedback(2.0, 0.0, 0.0, 0.1)
+        assert c.rate == pytest.approx(1000 / 0.1)
+
+    def test_no_doubling_within_same_rtt(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        first = c.rate
+        c.on_feedback(1.01, 0.0, 1e6, 0.1)  # 10 ms later, rtt is 100 ms
+        assert c.rate <= 2 * first
+
+    def test_in_slow_start_flag(self):
+        c = TfrcRateController()
+        assert c.in_slow_start
+        c.on_feedback(1.0, 0.01, 1e5, 0.1)
+        assert not c.in_slow_start
+
+
+class TestEquationPhase:
+    def test_rate_follows_equation_capped_by_2x_recv(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        c.on_feedback(1.2, 0.01, 1e6, 0.1)
+        x_calc = tcp_throughput(1000, c.rtt.rtt, 0.01)
+        assert c.rate == pytest.approx(min(x_calc, 2e6))
+
+    def test_low_x_recv_caps_rate(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        c.on_feedback(1.2, 0.001, 5000.0, 0.1)
+        assert c.rate == pytest.approx(10_000.0)
+
+    def test_floor_one_packet_per_t_mbi(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        c.on_feedback(1.2, 1.0, 1.0, 2.0)  # catastrophic loss
+        assert c.rate >= 1000 / T_MBI
+
+    def test_higher_loss_means_lower_rate(self):
+        def rate_for(p):
+            c = TfrcRateController(segment_size=1000)
+            c.on_feedback(1.0, 0.0, 1e9, 0.1)
+            c.on_feedback(1.2, p, 1e9, 0.1)
+            return c.rate
+
+        assert rate_for(0.001) > rate_for(0.01) > rate_for(0.1)
+
+
+class TestNofeedback:
+    def test_timeout_halves_rate(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.01, 1e6, 0.1)
+        before = c.rate
+        c.on_nofeedback_timeout(2.0)
+        assert c.rate == pytest.approx(before / 2)
+
+    def test_timeout_floor(self):
+        c = TfrcRateController(segment_size=1000)
+        for i in range(50):
+            c.on_nofeedback_timeout(float(i))
+        assert c.rate >= 1000 / T_MBI
+
+    def test_nofeedback_interval_before_rtt(self):
+        c = TfrcRateController()
+        assert c.nofeedback_interval() == 2.0
+
+    def test_nofeedback_interval_after_rtt(self):
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        assert c.nofeedback_interval() == pytest.approx(
+            max(4 * c.rtt.rtt, 2 * 1000 / c.rate)
+        )
+
+
+class TestGtfrc:
+    def make(self, g_bytes=50_000, **kw):
+        return GtfrcRateController(target_rate=g_bytes, segment_size=1000, **kw)
+
+    def test_rate_never_below_guarantee(self):
+        c = self.make(g_bytes=50_000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        c.on_feedback(1.2, 0.5, 1e6, 0.1)  # brutal loss report
+        assert c.rate >= 50_000
+        assert c.floor_activations > 0
+
+    def test_behaves_like_tfrc_above_guarantee(self):
+        g = 1000.0  # tiny guarantee
+        c = self.make(g_bytes=g)
+        t = TfrcRateController(segment_size=1000)
+        for ctrl in (c, t):
+            ctrl.on_feedback(1.0, 0.0, 1e6, 0.1)
+            ctrl.on_feedback(1.2, 0.01, 1e6, 0.1)
+        assert c.rate == pytest.approx(t.rate)
+
+    def test_nofeedback_respects_floor(self):
+        c = self.make(g_bytes=50_000)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        for i in range(20):
+            c.on_nofeedback_timeout(2.0 + i)
+        assert c.rate >= 50_000
+
+    def test_slow_start_starts_at_reservation(self):
+        c = self.make(g_bytes=50_000)
+        c.on_feedback(1.0, 0.0, 2000.0, 0.1)
+        assert c.rate >= 50_000
+
+    def test_p_scaling_variant_floors_too(self):
+        c = self.make(g_bytes=50_000, p_scaling=True)
+        c.on_feedback(1.0, 0.0, 1e6, 0.1)
+        c.on_feedback(1.2, 0.5, 1e6, 0.1)
+        assert c.rate >= 50_000
+
+    def test_validates_target(self):
+        with pytest.raises(ValueError):
+            GtfrcRateController(target_rate=0.0)

@@ -1,0 +1,89 @@
+"""Unit tests for RTT/RTO estimators."""
+
+import pytest
+
+from repro.tfrc.rtt import RtoEstimator, RttEstimator
+
+
+class TestRttEstimator:
+    def test_first_sample_taken_directly(self):
+        est = RttEstimator()
+        assert est.update(0.2) == 0.2
+        assert est.valid
+
+    def test_ewma_smoothing(self):
+        est = RttEstimator(q=0.9)
+        est.update(0.1)
+        smoothed = est.update(0.2)
+        assert smoothed == pytest.approx(0.9 * 0.1 + 0.1 * 0.2)
+
+    def test_converges_to_constant_input(self):
+        est = RttEstimator()
+        est.update(0.5)
+        for _ in range(200):
+            est.update(0.1)
+        assert est.rtt == pytest.approx(0.1, rel=1e-3)
+
+    def test_rto_is_four_rtt(self):
+        est = RttEstimator()
+        est.update(0.1)
+        assert est.rto() == pytest.approx(0.4)
+
+    def test_rto_requires_sample(self):
+        with pytest.raises(ValueError):
+            RttEstimator().rto()
+
+    def test_rejects_nonpositive_sample(self):
+        with pytest.raises(ValueError):
+            RttEstimator().update(0.0)
+
+    def test_validates_q(self):
+        with pytest.raises(ValueError):
+            RttEstimator(q=1.0)
+
+    def test_initial_value(self):
+        est = RttEstimator(initial=0.3)
+        assert est.valid and est.rtt == 0.3
+
+
+class TestRtoEstimator:
+    def test_initial_rto_without_samples(self):
+        est = RtoEstimator(min_rto=0.2)
+        assert est.rto() == 1.0
+
+    def test_first_sample_initializes_srtt_and_var(self):
+        est = RtoEstimator()
+        est.update(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+
+    def test_rto_floor(self):
+        est = RtoEstimator(min_rto=0.2)
+        for _ in range(100):
+            est.update(0.001)
+        assert est.rto() == pytest.approx(0.2)
+
+    def test_rto_responds_to_variance(self):
+        stable, jittery = RtoEstimator(), RtoEstimator()
+        for i in range(50):
+            stable.update(0.1)
+            jittery.update(0.05 if i % 2 else 0.25)
+        assert jittery.rto() > stable.rto()
+
+    def test_backoff_doubles_and_sample_resets(self):
+        est = RtoEstimator(min_rto=0.2)
+        est.update(0.3)
+        base = est.rto()
+        est.backoff()
+        assert est.rto() == pytest.approx(2 * base)
+        est.backoff()
+        assert est.rto() == pytest.approx(4 * base)
+        est.update(0.3)
+        assert est.rto() == pytest.approx(est.srtt + 4 * est.rttvar, rel=0.01)
+
+    def test_max_rto_cap(self):
+        est = RtoEstimator(max_rto=5.0)
+        est.update(2.0)
+        for _ in range(10):
+            est.backoff()
+        assert est.rto() == 5.0

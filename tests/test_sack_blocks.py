@@ -1,0 +1,144 @@
+"""Unit tests for receiver-side SACK state (RFC 2018)."""
+
+from repro.metrics.cost import CostMeter
+from repro.sack.blocks import ReceiverSackState
+
+
+class TestCumulativeAck:
+    def test_in_order_advances_cum_ack(self):
+        s = ReceiverSackState()
+        for seq in range(5):
+            assert s.record(seq)
+        assert s.cum_ack == 4
+        assert s.blocks() == ()
+
+    def test_gap_freezes_cum_ack(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(2)
+        assert s.cum_ack == 0
+        assert s.blocks() == ((2, 3),)
+
+    def test_filling_gap_merges_and_advances(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(2)
+        s.record(1)
+        assert s.cum_ack == 2
+        assert s.blocks() == ()
+
+    def test_duplicate_below_cum_ack(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(1)
+        assert not s.record(0)
+        assert s.duplicates == 1
+
+    def test_duplicate_inside_interval(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(5)
+        assert not s.record(5)
+        assert s.duplicates == 1
+
+
+class TestBlocks:
+    def test_most_recent_block_first(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(10)  # older range
+        s.record(20)  # newest range
+        blocks = s.blocks()
+        assert blocks[0] == (20, 21)
+        assert (10, 11) in blocks
+
+    def test_block_limit_respected(self):
+        s = ReceiverSackState()
+        s.record(0)
+        for seq in (10, 20, 30, 40, 50):
+            s.record(seq)
+        assert len(s.blocks(limit=3)) == 3
+
+    def test_adjacent_sequences_merge_into_one_block(self):
+        s = ReceiverSackState()
+        s.record(0)
+        for seq in (5, 6, 7, 8):
+            s.record(seq)
+        assert s.blocks() == ((5, 9),)
+
+    def test_bridging_merge(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(5)
+        s.record(7)
+        s.record(6)  # bridges [5,6) and [7,8)
+        assert s.blocks() == ((5, 8),)
+        assert s.interval_count == 1
+
+    def test_holes_reported(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(3)
+        s.record(6)
+        assert s.holes() == [(1, 3), (4, 6)]
+
+
+class TestAdvanceFloor:
+    def test_floor_skips_permanent_holes(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(5)  # holes 1-4
+        s.advance_floor(5)
+        assert s.cum_ack == 5  # absorbed the [5,6) interval too
+        assert s.interval_count == 0
+
+    def test_floor_below_cum_ack_is_noop(self):
+        s = ReceiverSackState()
+        for seq in range(5):
+            s.record(seq)
+        s.advance_floor(2)
+        assert s.cum_ack == 4
+
+    def test_floor_preserves_intervals_above(self):
+        s = ReceiverSackState()
+        s.record(0)
+        s.record(5)
+        s.record(10)
+        s.advance_floor(3)
+        assert s.cum_ack == 2
+        assert s.blocks(limit=5) == ((10, 11), (5, 6)) or s.blocks(limit=5) == (
+            (5, 6),
+            (10, 11),
+        )
+
+    def test_floor_into_middle_of_interval(self):
+        s = ReceiverSackState()
+        s.record(0)
+        for seq in (5, 6, 7):
+            s.record(seq)
+        s.advance_floor(7)  # floor inside [5,8)
+        assert s.cum_ack == 7
+        assert s.interval_count == 0
+
+
+class TestAccounting:
+    def test_received_and_bytes(self):
+        s = ReceiverSackState()
+        s.record(0, size=100)
+        s.record(2, size=200)
+        assert s.received == 2
+        assert s.received_bytes == 300
+
+    def test_meter_resident_tracks_intervals(self):
+        meter = CostMeter()
+        s = ReceiverSackState(meter=meter)
+        s.record(0)
+        for seq in (10, 20, 30):
+            s.record(seq)
+        assert meter.resident_bytes == 24 * 3 + 40
+
+    def test_max_seq_tracked(self):
+        s = ReceiverSackState()
+        s.record(7)
+        s.record(3)
+        assert s.max_seq == 7

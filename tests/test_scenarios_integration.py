@@ -1,0 +1,201 @@
+"""Integration tests: each paper claim's *shape* on small configurations.
+
+These run the same scenario builders as the benchmarks, with shorter
+durations; the assertions encode the qualitative results the paper
+reports (who wins, in which direction).
+"""
+
+import pytest
+
+from repro.core.instances import QTPAF, QTPLIGHT, TFRC_MEDIA
+from repro.core.profile import ReliabilityMode
+from repro.harness.scenarios import (
+    af_dumbbell_scenario,
+    estimation_accuracy_scenario,
+    friendliness_scenario,
+    lossy_path_scenario,
+    receiver_load_scenario,
+    reliability_scenario,
+    selfish_receiver_scenario,
+    smoothness_scenario,
+)
+
+
+class TestT1AfAssurance:
+    """§4: QTPAF obtains the negotiated QoS whereas TCP fails."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        kw = dict(
+            target_bps=6e6, n_cross=8, assured_access_delay=0.1,
+            duration=40, warmup=10, seed=3,
+        )
+        return {
+            proto: af_dumbbell_scenario(proto, **kw)
+            for proto in ("tcp", "tfrc", "qtpaf")
+        }
+
+    def test_tcp_fails_assurance(self, results):
+        assert results["tcp"].ratio < 0.8
+
+    def test_qtpaf_holds_assurance(self, results):
+        assert results["qtpaf"].ratio >= 0.95
+
+    def test_qtpaf_beats_plain_tfrc(self, results):
+        assert results["qtpaf"].ratio > results["tfrc"].ratio
+
+    def test_green_traffic_protected(self, results):
+        for r in results.values():
+            assert r.green_drop_ratio < 0.01
+
+    def test_cross_traffic_not_starved(self, results):
+        # gTFRC only claims its reservation; the rest is shared
+        assert results["qtpaf"].cross_total_bps > 1e6
+
+
+class TestF1Smoothness:
+    """§2/§3: TFRC delivers a smoother rate than TCP."""
+
+    def test_tfrc_cov_below_tcp(self):
+        tfrc = smoothness_scenario("tfrc", duration=50, warmup=15, seed=4)
+        tcp = smoothness_scenario("tcp", duration=50, warmup=15, seed=4)
+        assert tfrc.cov < tcp.cov
+        # both flows actually used the link
+        assert tfrc.mean_bps > 5e5 and tcp.mean_bps > 5e5
+
+
+class TestF2Wireless:
+    """§2 claim (1): rate control beats TCP on bursty-lossy paths."""
+
+    def test_tfrc_wins_under_bursty_loss(self):
+        tcp = lossy_path_scenario("tcp", 0.03, bursty=True,
+                                  duration=40, warmup=10, seed=2)
+        tfrc = lossy_path_scenario("tfrc", 0.03, bursty=True,
+                                   duration=40, warmup=10, seed=2)
+        assert tfrc.goodput_bps > tcp.goodput_bps
+
+    def test_gap_widens_with_loss(self):
+        def ratio(loss):
+            tcp = lossy_path_scenario("tcp", loss, bursty=True,
+                                      duration=40, warmup=10, seed=2)
+            tfrc = lossy_path_scenario("tfrc", loss, bursty=True,
+                                       duration=40, warmup=10, seed=2)
+            return tfrc.goodput_bps / max(tcp.goodput_bps, 1e3)
+
+        assert ratio(0.05) > ratio(0.01)
+
+    def test_clean_path_equivalent(self):
+        tcp = lossy_path_scenario("tcp", 0.0, duration=30, warmup=10, seed=2)
+        tfrc = lossy_path_scenario("tfrc", 0.0, duration=30, warmup=10, seed=2)
+        assert tfrc.goodput_bps == pytest.approx(tcp.goodput_bps, rel=0.1)
+
+
+class TestT3ReceiverLoad:
+    """§3: QTPlight dramatically decreases the receiver load."""
+
+    @pytest.fixture(scope="class")
+    def loads(self):
+        return {
+            p.name: receiver_load_scenario(p, loss_rate=0.02, duration=25, seed=2)
+            for p in (TFRC_MEDIA, QTPLIGHT, QTPAF(1e6))
+        }
+
+    def test_qtplight_receiver_cheaper_than_tfrc(self, loads):
+        assert loads["QTPlight"].rx_ops_per_packet < (
+            loads["TFRC"].rx_ops_per_packet / 1.5
+        )
+
+    def test_qtplight_receiver_cheapest_of_all(self, loads):
+        light = loads["QTPlight"].rx_ops_per_packet
+        assert all(
+            light <= r.rx_ops_per_packet
+            for name, r in loads.items()
+            if name != "QTPlight"
+        )
+
+    def test_work_moved_to_sender(self, loads):
+        assert loads["QTPlight"].tx_estimator_ops_per_packet > 0
+        assert loads["TFRC"].tx_estimator_ops_per_packet == 0
+
+    def test_receiver_memory_reduced(self, loads):
+        assert loads["QTPlight"].rx_peak_bytes < loads["TFRC"].rx_peak_bytes
+
+
+class TestF3EstimationAccuracy:
+    """§3: the sender-side estimate tracks the receiver-side one."""
+
+    def test_close_agreement(self):
+        r = estimation_accuracy_scenario(0.03, duration=40, warmup=10, seed=2)
+        assert r.mean_p_shadow > 0
+        assert r.mean_abs_rel_error < 0.15
+
+    def test_estimate_tracks_channel_loss(self):
+        r = estimation_accuracy_scenario(0.05, duration=40, warmup=10, seed=2)
+        assert r.mean_p_sender == pytest.approx(0.05, rel=0.5)
+
+
+class TestT4SelfishReceiver:
+    """§3: robustness against selfish receivers."""
+
+    def test_standard_tfrc_is_cheatable(self):
+        honest = selfish_receiver_scenario("tfrc", lying=False,
+                                           duration=40, warmup=15, seed=2)
+        lying = selfish_receiver_scenario("tfrc", lying=True,
+                                          duration=40, warmup=15, seed=2)
+        assert lying.cheater_bps > 1.5 * honest.cheater_bps
+        assert lying.victim_bps < 0.5 * honest.victim_bps
+
+    def test_qtplight_defeats_the_cheat(self):
+        honest = selfish_receiver_scenario("qtplight", lying=False,
+                                           duration=40, warmup=15, seed=2)
+        lying = selfish_receiver_scenario("qtplight", lying=True,
+                                          duration=40, warmup=15, seed=2)
+        assert lying.cheater_bps < 0.2 * honest.cheater_bps
+
+    def test_no_false_positives_for_honest_receiver(self):
+        honest = selfish_receiver_scenario("qtplight", lying=False,
+                                           duration=40, warmup=15, seed=2)
+        # an honest QTPlight keeps its fair share
+        assert honest.cheater_bps == pytest.approx(honest.victim_bps, rel=0.35)
+
+
+class TestT5Reliability:
+    """§1: negotiable partial/full reliability trade-offs."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            mode.value: reliability_scenario(mode, duration=40, seed=2)
+            for mode in (
+                ReliabilityMode.NONE,
+                ReliabilityMode.PARTIAL_TIME,
+                ReliabilityMode.FULL,
+            )
+        }
+
+    def test_full_delivers_most(self, results):
+        assert results["full"].delivered >= results["none"].delivered
+
+    def test_none_never_retransmits(self, results):
+        assert results["none"].retransmissions == 0
+        assert results["full"].retransmissions > 0
+
+    def test_latency_grows_with_reliability(self, results):
+        assert results["none"].p95_latency < results["full"].p95_latency
+
+    def test_partial_time_maximizes_useful_delivery(self, results):
+        partial = results["partial-time"].useful_ratio
+        assert partial >= results["none"].useful_ratio - 0.01
+        assert partial >= results["full"].useful_ratio - 0.01
+
+
+class TestF4Friendliness:
+    """§2: TFRC shares fairly with TCP."""
+
+    def test_normalized_throughput_within_factor_two(self):
+        r = friendliness_scenario(3, duration=50, warmup=15, seed=2)
+        assert 0.4 < r.normalized < 2.0
+
+    def test_jain_index_high(self):
+        r = friendliness_scenario(3, duration=50, warmup=15, seed=2)
+        assert r.jain > 0.9

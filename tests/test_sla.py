@@ -1,0 +1,70 @@
+"""Unit tests for SLAs and admission control."""
+
+import pytest
+
+from repro.qos.sla import AdmissionController, AdmissionError, ServiceLevelAgreement
+from repro.sim.packet import Color
+
+
+class TestSla:
+    def test_validates_rate_and_burst(self):
+        with pytest.raises(ValueError):
+            ServiceLevelAgreement("f", committed_rate_bps=0)
+        with pytest.raises(ValueError):
+            ServiceLevelAgreement("f", committed_rate_bps=1e6, burst_bytes=0)
+
+    def test_build_meter_enforces_committed_rate(self):
+        sla = ServiceLevelAgreement("f", committed_rate_bps=8000, burst_bytes=1000)
+        meter = sla.build_meter()
+        assert meter.color_of(1000, 0.0) is Color.GREEN
+        assert meter.color_of(1000, 0.0) is Color.RED  # burst exhausted
+        assert meter.color_of(1000, 1.0) is Color.GREEN  # refilled at CIR
+
+    def test_excess_burst_gives_yellow_band(self):
+        sla = ServiceLevelAgreement(
+            "f", committed_rate_bps=8000, burst_bytes=1000, excess_burst_bytes=1000
+        )
+        meter = sla.build_meter()
+        assert meter.color_of(1000, 0.0) is Color.GREEN
+        assert meter.color_of(1000, 0.0) is Color.YELLOW
+
+
+class TestAdmissionControl:
+    def test_admits_within_budget(self):
+        ac = AdmissionController(10e6, overprovision_factor=0.9)
+        ac.admit(ServiceLevelAgreement("a", 4e6))
+        ac.admit(ServiceLevelAgreement("b", 4e6))
+        assert ac.committed_bps == 8e6
+
+    def test_rejects_over_budget(self):
+        ac = AdmissionController(10e6, overprovision_factor=0.9)
+        ac.admit(ServiceLevelAgreement("a", 8e6))
+        with pytest.raises(AdmissionError):
+            ac.admit(ServiceLevelAgreement("b", 2e6))
+
+    def test_rejects_duplicate_flow(self):
+        ac = AdmissionController(10e6)
+        ac.admit(ServiceLevelAgreement("a", 1e6))
+        with pytest.raises(AdmissionError):
+            ac.admit(ServiceLevelAgreement("a", 1e6))
+
+    def test_release_frees_budget(self):
+        ac = AdmissionController(10e6, overprovision_factor=1.0)
+        ac.admit(ServiceLevelAgreement("a", 9e6))
+        ac.release("a")
+        ac.admit(ServiceLevelAgreement("b", 9e6))  # fits again
+        assert "b" in ac.slas
+
+    def test_release_unknown_is_noop(self):
+        AdmissionController(1e6).release("ghost")
+
+    def test_sla_lookup(self):
+        ac = AdmissionController(10e6)
+        sla = ac.admit(ServiceLevelAgreement("a", 1e6))
+        assert ac.sla_for("a") is sla
+        with pytest.raises(KeyError):
+            ac.sla_for("b")
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0.0)

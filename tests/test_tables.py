@@ -1,0 +1,31 @@
+"""Unit tests for the benchmark table formatter."""
+
+from repro.harness.tables import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.12345], [1234.5], [3.14159], [0.0]])
+        assert "0.1235" in text or "0.1234" in text
+        assert "1,234" in text or "1,235" in text
+        assert "3.142" in text
+        assert "\n" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["name"], [["tcp"], ["qtpaf"]])
+        assert "tcp" in text and "qtpaf" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

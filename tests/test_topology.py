@@ -1,0 +1,182 @@
+"""Unit tests for nodes, links, routing and topology builders."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Agent, Node, RoutingError
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import Network, chain, dumbbell, star
+
+
+class Sink(Agent):
+    """Collects delivered packets."""
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self.got = []
+
+    def receive(self, packet):
+        self.got.append((self.sim.now, packet))
+
+
+def make_pkt(dst, flow="f", size=1000):
+    return Packet(src="a", dst=dst, flow_id=flow, size=size)
+
+
+class TestLinkDelivery:
+    def test_serialization_plus_propagation_delay(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_simplex_link("a", "b", rate_bps=8000.0, delay=0.5)
+        net.compute_routes()
+        sink = Sink(sim).attach(net.node("b"), "f")
+        net.node("a").send(make_pkt("b", size=1000))  # 1 s serialization
+        sim.run()
+        t, _ = sink.got[0]
+        assert t == pytest.approx(1.5)
+
+    def test_back_to_back_packets_pipeline(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_simplex_link("a", "b", rate_bps=8000.0, delay=0.0)
+        net.compute_routes()
+        sink = Sink(sim).attach(net.node("b"), "f")
+        net.node("a").send(make_pkt("b"))
+        net.node("a").send(make_pkt("b"))
+        sim.run()
+        times = [t for t, _ in sink.got]
+        assert times == pytest.approx([1.0, 2.0])
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_simplex_link(
+            "a", "b", rate_bps=8000.0, delay=0.0,
+            queue=DropTailQueue(capacity_packets=2),
+        )
+        net.compute_routes()
+        Sink(sim).attach(net.node("b"), "f")
+        for _ in range(5):
+            net.node("a").send(make_pkt("b"))
+        sim.run()
+        assert link.queue.stats.dropped > 0
+
+    def test_utilization(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_simplex_link("a", "b", rate_bps=8000.0, delay=0.0)
+        net.compute_routes()
+        Sink(sim).attach(net.node("b"), "f")
+        net.node("a").send(make_pkt("b", size=1000))
+        sim.run()
+        assert link.stats.utilization(8000.0, 2.0) == pytest.approx(0.5)
+
+    def test_link_validates_args(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            net.add_simplex_link("a", "b", rate_bps=0.0, delay=0.1)
+
+
+class TestRouting:
+    def test_multi_hop_forwarding(self):
+        sim = Simulator()
+        topo = chain(sim, n_hops=3, rate=1e6, delay=0.01)
+        sink = Sink(sim).attach(topo.last, "f")
+        topo.first.send(Packet(src="h0", dst=topo.last.name, flow_id="f", size=100))
+        sim.run()
+        assert len(sink.got) == 1
+        assert sink.got[0][1].hops == 3
+
+    def test_shortest_path_chosen(self):
+        sim = Simulator()
+        net = Network(sim)
+        # a-b-c slow path, a-c direct but longer delay
+        net.add_duplex_link("a", "b", 1e6, 0.001)
+        net.add_duplex_link("b", "c", 1e6, 0.001)
+        net.add_duplex_link("a", "c", 1e6, 0.1)
+        net.compute_routes()
+        assert net.node("a").next_hop["c"] == "b"
+
+    def test_path_delay(self):
+        sim = Simulator()
+        topo = chain(sim, n_hops=4, rate=1e6, delay=0.01)
+        assert topo.net.path_delay("h0", "h4") == pytest.approx(0.04)
+
+    def test_no_route_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_node("a")
+        net.add_node("z")
+        net.compute_routes()
+        with pytest.raises(RoutingError):
+            net.node("a").send(make_pkt("z"))
+
+    def test_unroutable_hook(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_node("a")
+        net.compute_routes()
+        dropped = []
+        net.node("a").on_unroutable = dropped.append
+        net.node("a").send(make_pkt("zz"))
+        assert len(dropped) == 1
+
+
+class TestAgentBinding:
+    def test_unknown_flow_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_simplex_link("a", "b", 1e6, 0.0)
+        net.compute_routes()
+        net.node("a").send(make_pkt("b", flow="nobody"))
+        with pytest.raises(RoutingError):
+            sim.run()
+
+    def test_rebinding_same_flow_rejected(self):
+        sim = Simulator()
+        node = Node(sim, "n")
+        Sink(sim).attach(node, "f")
+        with pytest.raises(RoutingError):
+            Sink(sim).attach(node, "f")
+
+    def test_unbind_allows_rebinding(self):
+        sim = Simulator()
+        node = Node(sim, "n")
+        Sink(sim).attach(node, "f")
+        node.unbind("f")
+        sink2 = Sink(sim).attach(node, "f")
+        assert node.agent_for("f") is sink2
+
+
+class TestBuilders:
+    def test_dumbbell_structure(self):
+        sim = Simulator()
+        d = dumbbell(sim, n_pairs=3)
+        assert len(d.sources) == 3 and len(d.sinks) == 3
+        assert d.bottleneck.src.name == "left"
+        # each source routes to its sink via the bottleneck
+        assert d.net.node("s0").next_hop["d0"] == "left"
+        assert d.net.node("left").next_hop["d0"] == "right"
+
+    def test_dumbbell_per_pair_delays(self):
+        sim = Simulator()
+        d = dumbbell(sim, n_pairs=2, access_delays=[0.001, 0.1])
+        assert d.net.path_delay("s1", "d1") > d.net.path_delay("s0", "d0")
+
+    def test_chain_structure(self):
+        sim = Simulator()
+        c = chain(sim, n_hops=5)
+        assert c.first.name == "h0" and c.last.name == "h5"
+        assert len(c.hops) == 5
+
+    def test_chain_validates(self):
+        with pytest.raises(ValueError):
+            chain(Simulator(), n_hops=0)
+
+    def test_star_structure(self):
+        sim = Simulator()
+        s = star(Simulator(), n_leaves=4)
+        assert len(s.leaves) == 4
+        assert s.hub.name == "hub"

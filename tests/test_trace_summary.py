@@ -1,0 +1,160 @@
+"""Tests for packet tracing and flow summaries."""
+
+import pytest
+
+from repro.metrics.cost import CostMeter
+from repro.metrics.recorder import FlowRecorder
+from repro.metrics.summary import summarize_flow
+from repro.sim.engine import Simulator
+from repro.sim.node import Agent
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import Network
+from repro.sim.trace import PacketTracer, TraceEvent
+
+
+class Sink(Agent):
+    def __init__(self, sim):
+        super().__init__(sim)
+        self.got = []
+
+    def receive(self, packet):
+        self.got.append(packet)
+
+
+def small_net(sim, queue=None):
+    net = Network(sim)
+    net.add_simplex_link("a", "b", rate_bps=8000.0, delay=0.1, queue=queue)
+    net.compute_routes()
+    return net
+
+
+class TestPacketTracer:
+    def test_enqueue_tx_deliver_sequence(self):
+        sim = Simulator()
+        net = small_net(sim)
+        tracer = PacketTracer()
+        tracer.attach(net.link("a", "b"))
+        Sink(sim).attach(net.node("b"), "f")
+        net.node("a").send(Packet(src="a", dst="b", flow_id="f", size=1000))
+        sim.run()
+        kinds = [r.event for r in tracer.records]
+        assert kinds == [TraceEvent.ENQUEUE, TraceEvent.TRANSMIT, TraceEvent.DELIVER]
+
+    def test_drop_recorded(self):
+        sim = Simulator()
+        net = small_net(sim, queue=DropTailQueue(capacity_packets=1))
+        tracer = PacketTracer()
+        tracer.attach(net.link("a", "b"))
+        Sink(sim).attach(net.node("b"), "f")
+        for _ in range(5):
+            net.node("a").send(Packet(src="a", dst="b", flow_id="f", size=1000))
+        sim.run()
+        assert tracer.count(TraceEvent.DROP) > 0
+        assert tracer.count(TraceEvent.DELIVER) < 5
+
+    def test_flow_filter(self):
+        sim = Simulator()
+        net = small_net(sim)
+        tracer = PacketTracer(flow_filter={"keep"})
+        tracer.attach(net.link("a", "b"))
+        Sink(sim).attach(net.node("b"), "keep")
+        Sink(sim).attach(net.node("b"), "skip")
+        net.node("a").send(Packet(src="a", dst="b", flow_id="keep", size=100))
+        net.node("a").send(Packet(src="a", dst="b", flow_id="skip", size=100))
+        sim.run()
+        assert all(r.flow_id == "keep" for r in tracer.records)
+
+    def test_one_way_delays(self):
+        sim = Simulator()
+        net = small_net(sim)
+        tracer = PacketTracer()
+        tracer.attach(net.link("a", "b"))
+        Sink(sim).attach(net.node("b"), "f")
+        net.node("a").send(Packet(src="a", dst="b", flow_id="f", size=1000))
+        sim.run()
+        delays = tracer.one_way_delays("f")
+        # 1 s serialization + 0.1 s propagation
+        assert delays == [pytest.approx(1.1)]
+
+    def test_ring_buffer_bound(self):
+        sim = Simulator()
+        net = small_net(sim)
+        tracer = PacketTracer(max_records=5)
+        tracer.attach(net.link("a", "b"))
+        Sink(sim).attach(net.node("b"), "f")
+        for _ in range(10):
+            net.node("a").send(Packet(src="a", dst="b", flow_id="f", size=10))
+        sim.run()
+        assert len(tracer.records) == 5
+        assert tracer.dropped_records > 0
+
+    def test_per_flow_counts(self):
+        sim = Simulator()
+        net = small_net(sim)
+        tracer = PacketTracer()
+        tracer.attach(net.link("a", "b"))
+        Sink(sim).attach(net.node("b"), "f")
+        for _ in range(3):
+            net.node("a").send(Packet(src="a", dst="b", flow_id="f", size=10))
+        sim.run()
+        assert tracer.per_flow_counts(TraceEvent.DELIVER) == {"f": 3}
+
+
+class TestFlowSummary:
+    def make_recorder(self):
+        rec = FlowRecorder("flow")
+        for i in range(1, 21):
+            t = i * 0.5
+            rec.record(
+                t, Packet(src="a", dst="b", flow_id="f", size=1000, created_at=t - 0.05)
+            )
+        return rec
+
+    def test_summary_values(self):
+        rec = self.make_recorder()
+        s = summarize_flow(rec, warmup=2.0, end=10.0)
+        assert s.mean_rate_bps == pytest.approx(16 * 1000 * 8 / 8.0)
+        assert s.delivered_packets == 16
+        assert s.mean_latency == pytest.approx(0.05)
+        assert s.p95_latency == pytest.approx(0.05)
+
+    def test_summary_with_meter(self):
+        rec = self.make_recorder()
+        meter = CostMeter()
+        meter.charge(160)
+        meter.set_resident(500)
+        s = summarize_flow(rec, warmup=2.0, end=10.0, meter=meter)
+        assert s.rx_ops_per_packet == pytest.approx(10.0)
+        assert s.rx_peak_bytes == 500
+
+    def test_describe_line(self):
+        rec = self.make_recorder()
+        s = summarize_flow(rec, warmup=2.0, end=10.0)
+        assert "Mbit/s" in s.describe()
+
+    def test_validates_window(self):
+        rec = self.make_recorder()
+        with pytest.raises(ValueError):
+            summarize_flow(rec, warmup=5.0, end=5.0)
+
+
+class TestOscillationDamping:
+    def test_interval_stretches_when_rtt_above_mean(self):
+        from repro.tfrc.rate_control import TfrcRateController
+
+        c = TfrcRateController(segment_size=1000, oscillation_damping=True)
+        for i in range(20):
+            c.on_feedback(1.0 + i * 0.1, 0.01, 1e6, 0.1)
+        base = c.send_interval()
+        # a sudden high RTT sample stretches the instantaneous interval
+        c.on_feedback(4.0, 0.01, 1e6, 0.4)
+        assert c.send_interval() > base
+
+    def test_damping_off_by_default(self):
+        from repro.tfrc.rate_control import TfrcRateController
+
+        c = TfrcRateController(segment_size=1000)
+        c.on_feedback(1.0, 0.01, 1e6, 0.1)
+        c.on_feedback(2.0, 0.01, 1e6, 0.4)
+        assert c.send_interval() == pytest.approx(1000 / c.rate)
