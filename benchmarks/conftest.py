@@ -4,12 +4,37 @@ Every benchmark regenerates one table/figure from DESIGN.md's
 experiment index.  Tables are written to ``benchmarks/results/*.txt``
 (so they survive pytest's output capture) and echoed to the real
 stdout for interactive runs.
+
+The sweep-driven benchmarks call :func:`repro.harness.runner.run_matrix`
+instead of hand-rolled loops: results are memoized under
+``results/.sweep-cache`` (keyed by scenario, params, seed and a hash of
+the ``repro`` sources), so re-running an unchanged benchmark matrix is
+free, and ``REPRO_SWEEP_WORKERS`` fans the runs out across processes.
+
+The whole suite carries the ``slow`` marker (registered in
+``pytest.ini``): plain ``pytest -x -q`` deselects it to keep tier-1
+fast, ``pytest -m slow`` runs the full matrix.
 """
 
+import os
 import sys
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: On-disk memo for run_matrix-driven benchmarks.
+SWEEP_CACHE = RESULTS_DIR / ".sweep-cache"
+
+
+def sweep_workers() -> int:
+    """Worker processes for benchmark sweeps (``REPRO_SWEEP_WORKERS``).
+
+    Defaults to one per CPU; set ``REPRO_SWEEP_WORKERS=1`` to force the
+    serial in-process path.
+    """
+    return int(os.environ.get("REPRO_SWEEP_WORKERS") or 0) or (os.cpu_count() or 1)
 
 
 def emit_table(name: str, text: str) -> None:
@@ -19,3 +44,11 @@ def emit_table(name: str, text: str) -> None:
     path.write_text(text + "\n")
     real_stdout = getattr(sys, "__stdout__", sys.stdout)
     print(f"\n{text}\n[saved to {path}]", file=real_stdout, flush=True)
+
+
+def pytest_collection_modifyitems(items):
+    """Safety net: every benchmark item is ``slow``, marked or not."""
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents and "slow" not in item.keywords:
+            item.add_marker(pytest.mark.slow)

@@ -27,6 +27,9 @@ from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
 from repro.tfrc.gtfrc import GtfrcRateController
 
+
+pytestmark = pytest.mark.slow
+
 TARGET = 6e6
 N_CROSS = 8
 

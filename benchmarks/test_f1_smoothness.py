@@ -7,20 +7,27 @@ the coefficient of variation of the per-200-ms throughput series.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import smoothness_scenario
 from repro.harness.tables import format_table
+
+pytestmark = pytest.mark.slow
 
 SEEDS = (0, 1, 2)
 
 
 @pytest.fixture(scope="module")
 def runs():
-    return {
-        (proto, seed): smoothness_scenario(proto, duration=80, warmup=20, seed=seed)
-        for proto in ("tfrc", "tcp")
-        for seed in SEEDS
-    }
+    records = run_matrix(
+        "smoothness",
+        {"protocol": ("tfrc", "tcp")},
+        base=dict(duration=80, warmup=20),
+        seeds=SEEDS,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {(r.params["protocol"], r.params["seed"]): r.result for r in records}
 
 
 def test_f1_table(runs, benchmark):

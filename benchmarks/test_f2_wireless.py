@@ -10,9 +10,12 @@ that the advantage is specific to bursty loss.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import lossy_path_scenario
 from repro.harness.tables import format_table
+
+pytestmark = pytest.mark.slow
 
 LOSS_RATES = (0.005, 0.01, 0.02, 0.05, 0.08)
 CONFIG = dict(n_hops=3, duration=40.0, warmup=10.0, seed=2)
@@ -20,14 +23,21 @@ CONFIG = dict(n_hops=3, duration=40.0, warmup=10.0, seed=2)
 
 @pytest.fixture(scope="module")
 def sweep():
-    out = {}
-    for loss in LOSS_RATES:
-        for proto in ("tcp", "tfrc"):
-            for bursty in (True, False):
-                out[(loss, proto, bursty)] = lossy_path_scenario(
-                    proto, loss, bursty=bursty, **CONFIG
-                )
-    return out
+    records = run_matrix(
+        "lossy_path",
+        {
+            "loss_rate": LOSS_RATES,
+            "protocol": ("tcp", "tfrc"),
+            "bursty": (True, False),
+        },
+        base=CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {
+        (r.params["loss_rate"], r.params["protocol"], r.params["bursty"]): r.result
+        for r in records
+    }
 
 
 def test_f2_table(sweep, benchmark):

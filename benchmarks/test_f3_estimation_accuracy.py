@@ -11,6 +11,9 @@ from conftest import emit_table
 from repro.harness.scenarios import estimation_accuracy_scenario
 from repro.harness.tables import format_table
 
+
+pytestmark = pytest.mark.slow
+
 LOSS_RATES = (0.005, 0.01, 0.02, 0.04, 0.08)
 
 

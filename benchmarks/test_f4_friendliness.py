@@ -8,19 +8,26 @@ band across N, with a high Jain index.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import friendliness_scenario
 from repro.harness.tables import format_table
+
+pytestmark = pytest.mark.slow
 
 N_TCP = (1, 2, 4, 8, 16)
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    return {
-        n: friendliness_scenario(n, duration=60.0, warmup=15.0, seed=2)
-        for n in N_TCP
-    }
+    records = run_matrix(
+        "friendliness",
+        {"n_tcp": N_TCP},
+        base=dict(duration=60.0, warmup=15.0, seed=2),
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {r.params["n_tcp"]: r.result for r in records}
 
 
 def test_f4_table(sweep, benchmark):

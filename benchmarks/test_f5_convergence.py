@@ -23,6 +23,9 @@ from repro.sim.topology import dumbbell
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
 
+
+pytestmark = pytest.mark.slow
+
 TARGET = 5e6
 STEP_TIME = 20.0
 DURATION = 60.0

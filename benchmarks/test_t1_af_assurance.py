@@ -11,9 +11,12 @@ drops.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import af_dumbbell_scenario
 from repro.harness.tables import format_table
+
+pytestmark = pytest.mark.slow
 
 PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
 TARGETS = (2e6, 4e6, 6e6, 8e6)
@@ -22,13 +25,16 @@ CONFIG = dict(n_cross=8, assured_access_delay=0.1, duration=40.0, warmup=10.0, s
 
 @pytest.fixture(scope="module")
 def sweep():
-    results = {}
-    for target in TARGETS:
-        for proto in PROTOCOLS:
-            results[(target, proto)] = af_dumbbell_scenario(
-                proto, target_bps=target, **CONFIG
-            )
-    return results
+    records = run_matrix(
+        "af_assurance",
+        {"target_bps": TARGETS, "protocol": PROTOCOLS},
+        base=CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {
+        (r.params["target_bps"], r.params["protocol"]): r.result for r in records
+    }
 
 
 def test_t1_table(sweep, benchmark):

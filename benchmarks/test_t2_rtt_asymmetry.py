@@ -12,6 +12,9 @@ from conftest import emit_table
 from repro.harness.scenarios import af_dumbbell_scenario
 from repro.harness.tables import format_table
 
+
+pytestmark = pytest.mark.slow
+
 ACCESS_DELAYS = (0.002, 0.03, 0.06, 0.1)  # one-way; RTT ~= 4x + 40 ms
 PROTOCOLS = ("tcp", "qtpaf")
 CONFIG = dict(target_bps=5e6, n_cross=8, duration=40.0, warmup=10.0, seed=3)

@@ -19,6 +19,9 @@ from repro.harness.tables import format_table
 from repro.sack.blocks import ReceiverSackState
 from repro.tfrc.loss_history import LossEventEstimator
 
+
+pytestmark = pytest.mark.slow
+
 PROFILES = (TFRC_MEDIA, QTPLIGHT, QTPAF(1e6))
 LOSS_RATES = (0.0, 0.02, 0.05)
 

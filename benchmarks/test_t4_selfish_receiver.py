@@ -14,6 +14,9 @@ from conftest import emit_table
 from repro.harness.scenarios import selfish_receiver_scenario
 from repro.harness.tables import format_table
 
+
+pytestmark = pytest.mark.slow
+
 CONFIG = dict(duration=60.0, warmup=15.0, seed=2)
 
 

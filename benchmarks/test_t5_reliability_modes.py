@@ -14,6 +14,9 @@ from repro.core.profile import ReliabilityMode
 from repro.harness.scenarios import reliability_scenario
 from repro.harness.tables import format_table
 
+
+pytestmark = pytest.mark.slow
+
 MODES = (
     ReliabilityMode.NONE,
     ReliabilityMode.PARTIAL_TIME,

@@ -21,6 +21,9 @@ from repro.harness.tables import format_table
 from repro.sim.engine import Simulator
 from repro.sim.topology import dumbbell
 
+
+pytestmark = pytest.mark.slow
+
 SCENARIOS = [
     ("default/default", CapabilitySet(), CapabilitySet()),
     (

@@ -1,12 +1,29 @@
-"""Experiment harness: scenario builders, sweeps and table formatting.
+"""Experiment harness: scenario registry, sweep runner and tables.
 
-Each function in :mod:`repro.harness.scenarios` builds, runs and
-summarizes one canonical experiment setup from DESIGN.md's experiment
-index; the benchmarks call them with the paper's parameter ranges and
-print the resulting tables, and the integration tests assert the
-claim *shapes* on smaller configurations.
+Three layers:
+
+* :mod:`repro.harness.experiments` — one module per canonical
+  experiment (DESIGN.md's index); each scenario builder is registered
+  with :mod:`repro.harness.registry` under a stable name, with a
+  parameter schema and the paper's default sweep grid.
+* :mod:`repro.harness.runner` — :func:`run_matrix` fans a parameter
+  grid out across multiprocessing workers with deterministic per-run
+  seeds and memoizes completed runs on disk, so benchmarks declare
+  sweeps instead of hand-rolling loops and re-runs are free.
+* the CLI — ``python -m repro.harness run <scenario> --sweep ...``
+  (see :mod:`repro.harness.cli`).
+
+The historical flat imports (``from repro.harness.scenarios import
+af_dumbbell_scenario``) keep working via the re-export shim.
 """
 
+from repro.harness.registry import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register,
+)
+from repro.harness.runner import RunRecord, code_version, expand_grid, run_matrix
 from repro.harness.scenarios import (
     AfResult,
     LossyPathResult,
@@ -33,4 +50,12 @@ __all__ = [
     "AfResult",
     "LossyPathResult",
     "format_table",
+    "ScenarioSpec",
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "RunRecord",
+    "run_matrix",
+    "expand_grid",
+    "code_version",
 ]

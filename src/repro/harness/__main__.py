@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` — sweep-runner CLI entry point."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,214 @@
+"""Command-line front end for the sweep runner.
+
+Usage::
+
+    python -m repro.harness list
+    python -m repro.harness run af_assurance
+    python -m repro.harness run af_assurance \
+        --sweep protocol=tcp,gtfrc --sweep target_bps=2e6,6e6 \
+        --set duration=20 --seeds 0,1 --workers 4
+
+``run`` executes the scenario over its sweep grid (the registered
+default when no ``--sweep`` is given), memoizing results under
+``--cache-dir`` (default ``.sweep-cache/``; ``--no-cache`` disables),
+and prints one table row per run: the swept parameters followed by the
+scalar fields of the scenario's result record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.registry import ScenarioSpec, get_scenario, list_scenarios
+from repro.harness.runner import RunRecord, run_matrix
+from repro.harness.tables import format_table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.harness``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    parser.print_help()
+    return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run registered experiment scenarios over parameter sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list registered scenarios and their grids")
+    run = sub.add_parser("run", help="sweep one scenario and print a table")
+    run.add_argument("scenario", help="registered scenario name (see `list`)")
+    run.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="PARAM=V1,V2,...",
+        help="sweep axis; repeatable; replaces the default grid",
+    )
+    run.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="fixed",
+        metavar="PARAM=VALUE",
+        help="fixed parameter override applied to every run; repeatable",
+    )
+    run.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="seeds crossed with every grid point",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per CPU; default 1 = serial)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".sweep-cache"),
+        help="result memo directory (default: ./.sweep-cache)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every run; do not read or write the cache",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for spec in list_scenarios():
+        grid = " ".join(
+            f"{k}={','.join(str(v) for v in vs)}"
+            for k, vs in spec.default_grid.items()
+        )
+        rows.append([spec.name, grid or "-", spec.description])
+    print(format_table(["scenario", "default grid", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        grid = _parse_grid(spec, args.sweep) if args.sweep else None
+        base = dict(_parse_pair(spec, pair) for pair in args.fixed)
+        seeds = (
+            [int(s) for s in args.seeds.split(",") if s] if args.seeds else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(record: RunRecord) -> None:
+        if not args.quiet:
+            state = "cached" if record.cached else f"{record.elapsed:.2f}s"
+            print(f"  [{state}] {record.scenario} {record.params}", flush=True)
+
+    started = time.perf_counter()
+    try:
+        records = run_matrix(
+            args.scenario,
+            grid,
+            base=base,
+            seeds=seeds,
+            workers=args.workers or None,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - started
+    print(_records_table(spec, records))
+    fresh = sum(1 for r in records if not r.cached)
+    print(
+        f"\n{len(records)} runs ({fresh} computed, {len(records) - fresh} cached) "
+        f"in {wall:.2f}s wall"
+    )
+    return 0
+
+
+def _parse_grid(
+    spec: ScenarioSpec, sweeps: Sequence[str]
+) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for sweep in sweeps:
+        name, _, values = sweep.partition("=")
+        if name in grid:
+            raise ValueError(
+                f"--sweep {name} given twice; use one comma-separated list"
+            )
+        parsed = [spec.coerce(name, v) for v in values.split(",") if v]
+        if not parsed:
+            raise ValueError(f"--sweep needs PARAM=V1,V2,... (got {sweep!r})")
+        grid[name] = parsed
+    return grid
+
+
+def _parse_pair(spec: ScenarioSpec, pair: str) -> tuple:
+    name, _, value = pair.partition("=")
+    if not _ or value == "":
+        raise ValueError(f"--set needs PARAM=VALUE (got {pair!r})")
+    return name, spec.coerce(name, value)
+
+
+def _records_table(spec: ScenarioSpec, records: Sequence[RunRecord]) -> str:
+    param_cols: List[str] = []
+    for record in records:
+        for key in record.params:
+            if key not in param_cols:
+                param_cols.append(key)
+    result_cols: List[str] = []
+    flattened: List[Dict[str, Any]] = []
+    for record in records:
+        flat = _flatten_result(record.result)
+        flattened.append(flat)
+        for key in flat:
+            if key not in result_cols:
+                result_cols.append(key)
+    result_cols = [c for c in result_cols if c not in param_cols]
+    rows = [
+        [record.params.get(c, "") for c in param_cols]
+        + [flat.get(c, "") for c in result_cols]
+        for record, flat in zip(records, flattened)
+    ]
+    return format_table(
+        param_cols + result_cols, rows, title=f"sweep: {spec.name}"
+    )
+
+
+def _flatten_result(result: Any) -> Dict[str, Any]:
+    """Scalar fields of a result record (series/samples are elided)."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        items = dataclasses.asdict(result).items()
+    elif isinstance(result, dict):
+        items = result.items()
+    else:
+        return {"result": result}
+    return {
+        k: v for k, v in items if isinstance(v, (str, int, float, bool, type(None)))
+    }

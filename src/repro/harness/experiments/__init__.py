@@ -1,23 +1,19 @@
-"""Backward-compatible re-exports of the canonical experiment scenarios.
+"""Per-experiment scenario modules (one per DESIGN.md experiment).
 
-The scenario builders now live in per-experiment modules under
-:mod:`repro.harness.experiments` (one module per DESIGN.md experiment),
-where each is registered with :mod:`repro.harness.registry` for use by
-the sweep runner and the ``python -m repro.harness`` CLI.  This module
-keeps the historical flat namespace alive for existing imports.
+Importing this package registers every canonical scenario with
+:mod:`repro.harness.registry`.  Each module keeps one experiment's
+result dataclass and builder function together, replacing the old
+monolithic ``repro.harness.scenarios`` (which remains as a re-export
+shim for backward compatibility).
 """
-
-from __future__ import annotations
 
 from repro.harness.experiments.af_assurance import (  # noqa: F401
     AF_PROTOCOLS,
     AfResult,
-    _assured_profile,
     af_dumbbell_scenario,
 )
 from repro.harness.experiments.estimation import (  # noqa: F401
     EstimationAccuracyResult,
-    _ShadowReceiver,
     estimation_accuracy_scenario,
 )
 from repro.harness.experiments.friendliness import (  # noqa: F401
@@ -44,23 +40,3 @@ from repro.harness.experiments.smoothness import (  # noqa: F401
     SmoothnessResult,
     smoothness_scenario,
 )
-
-__all__ = [
-    "AF_PROTOCOLS",
-    "AfResult",
-    "EstimationAccuracyResult",
-    "FriendlinessResult",
-    "LossyPathResult",
-    "ReceiverLoadResult",
-    "ReliabilityResult",
-    "SelfishResult",
-    "SmoothnessResult",
-    "af_dumbbell_scenario",
-    "estimation_accuracy_scenario",
-    "friendliness_scenario",
-    "lossy_path_scenario",
-    "receiver_load_scenario",
-    "reliability_scenario",
-    "selfish_receiver_scenario",
-    "smoothness_scenario",
-]

@@ -1,0 +1,151 @@
+"""T1/T2 — AF bandwidth assurance (paper §4).
+
+An assured flow holding an AF reservation (srTCM edge marker + RIO
+bottleneck) against greedy best-effort TCP cross traffic; the paper's
+central experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
+from repro.core.profile import ReliabilityMode, TransportProfile
+from repro.harness.registry import register
+from repro.metrics.recorder import FlowRecorder
+from repro.qos.marking import ProfileMarker
+from repro.qos.sla import ServiceLevelAgreement
+from repro.sim.engine import Simulator
+from repro.sim.packet import Color
+from repro.sim.queues import RioQueue
+from repro.sim.topology import dumbbell
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+#: Protocol labels accepted by the scenarios.
+AF_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+
+
+@dataclass
+class AfResult:
+    """Outcome of one AF-assurance run."""
+
+    protocol: str
+    target_bps: float
+    achieved_bps: float
+    green_drop_ratio: float
+    out_drop_ratio: float
+    cross_total_bps: float
+
+    @property
+    def ratio(self) -> float:
+        """Achieved / negotiated — 1.0 means the assurance held."""
+        return self.achieved_bps / self.target_bps if self.target_bps else 0.0
+
+
+def _assured_profile(protocol: str, target_bps: float) -> Optional[TransportProfile]:
+    if protocol == "qtpaf":
+        return QTPAF(target_bps)
+    if protocol == "gtfrc":
+        return QTPAF(target_bps, name="gTFRC", reliability=ReliabilityMode.NONE)
+    if protocol == "tfrc":
+        return TFRC_MEDIA
+    return None  # tcp
+
+
+@register(
+    "af_assurance",
+    grid={"protocol": AF_PROTOCOLS, "target_bps": (2e6, 4e6, 6e6, 8e6)},
+)
+def af_dumbbell_scenario(
+    protocol: str,
+    target_bps: float,
+    n_cross: int = 4,
+    bottleneck_bps: float = 10e6,
+    bottleneck_delay: float = 0.02,
+    access_delay: float = 0.002,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    seed: int = 0,
+    assured_access_delay: Optional[float] = None,
+) -> AfResult:
+    """The paper's §4 experiment: an assured flow against TCP cross traffic.
+
+    One flow holds an AF reservation of ``target_bps`` (srTCM edge
+    marker + RIO bottleneck); ``n_cross`` greedy best-effort TCP flows
+    congest the same bottleneck.  Returns the assured flow's achieved
+    goodput and the bottleneck drop ratios per precedence.
+
+    ``protocol`` selects the assured flow's transport: "tcp" (the
+    Seddigh failure case), "tfrc" (no QoS-awareness), "gtfrc"
+    (QoS-aware rate control only) or "qtpaf" (gTFRC + full
+    reliability — the paper's instance).
+    """
+    if protocol not in AF_PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    sim = Simulator(seed=seed)
+    sla = ServiceLevelAgreement(
+        flow_id="assured", committed_rate_bps=target_bps, burst_bytes=30_000
+    )
+    markers: List[Optional[ProfileMarker]] = [
+        ProfileMarker(sla.build_meter(), flow_id="assured")
+    ] + [None] * n_cross
+    delays = [assured_access_delay or access_delay] + [access_delay] * n_cross
+    rio_rng = sim.rng("rio")
+    mean_pkt_time = 1000 * 8 / bottleneck_bps
+    d = dumbbell(
+        sim,
+        n_pairs=1 + n_cross,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=bottleneck_delay,
+        bottleneck_queue_factory=lambda: RioQueue(
+            rng=rio_rng, mean_pkt_time=mean_pkt_time
+        ),
+        access_delays=delays,
+        access_markers=markers,
+    )
+    assured_rec = FlowRecorder("assured")
+    profile = _assured_profile(protocol, target_bps)
+    if profile is None:
+        sender = TcpSender(sim, dst="d0", sack=True)
+        receiver = TcpReceiver(sim, recorder=assured_rec, sack=True)
+        sender.attach(d.net.node("s0"), "assured")
+        receiver.attach(d.net.node("d0"), "assured")
+        sender.start()
+    else:
+        sender, receiver = build_transport_pair(
+            sim,
+            d.net.node("s0"),
+            d.net.node("d0"),
+            "assured",
+            profile,
+            recorder=assured_rec,
+            start=True,
+        )
+    cross_recs = []
+    for i in range(1, 1 + n_cross):
+        rec = FlowRecorder(f"cross{i}")
+        cross_recs.append(rec)
+        tcp_snd = TcpSender(sim, dst=f"d{i}", sack=True)
+        tcp_rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        tcp_snd.attach(d.net.node(f"s{i}"), f"x{i}")
+        tcp_rcv.attach(d.net.node(f"d{i}"), f"x{i}")
+        tcp_snd.start()
+    sim.run(until=duration)
+    stats = d.bottleneck.queue.stats
+    green_offered = (
+        stats.accepts_by_color[Color.GREEN] + stats.drops_by_color[Color.GREEN]
+    )
+    out_offered = stats.offered - green_offered
+    out_drops = stats.dropped - stats.drops_by_color[Color.GREEN]
+    return AfResult(
+        protocol=protocol,
+        target_bps=target_bps,
+        achieved_bps=assured_rec.mean_rate_bps(warmup, duration),
+        green_drop_ratio=(
+            stats.drops_by_color[Color.GREEN] / green_offered if green_offered else 0.0
+        ),
+        out_drop_ratio=out_drops / out_offered if out_offered else 0.0,
+        cross_total_bps=sum(r.mean_rate_bps(warmup, duration) for r in cross_recs),
+    )

@@ -1,0 +1,75 @@
+"""F4 — TCP friendliness of TFRC (paper §2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instances import TFRC_MEDIA, build_transport_pair
+from repro.harness.registry import register
+from repro.metrics.recorder import FlowRecorder
+from repro.metrics.stats import jain_index
+from repro.sim.engine import Simulator
+from repro.sim.queues import RedQueue
+from repro.sim.topology import dumbbell
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+
+@dataclass
+class FriendlinessResult:
+    """Bandwidth sharing of one TFRC against N TCP flows."""
+
+    n_tcp: int
+    tfrc_bps: float
+    tcp_mean_bps: float
+    normalized: float
+    jain: float
+
+
+@register("friendliness", grid={"n_tcp": (1, 2, 4, 8, 16)})
+def friendliness_scenario(
+    n_tcp: int,
+    bottleneck_bps: float = 8e6,
+    duration: float = 100.0,
+    warmup: float = 20.0,
+    seed: int = 0,
+) -> FriendlinessResult:
+    """One TFRC flow sharing a RED bottleneck with ``n_tcp`` TCP flows."""
+    sim = Simulator(seed=seed)
+    red_rng = sim.rng("red")
+    mean_pkt_time = 1000 * 8 / bottleneck_bps
+    d = dumbbell(
+        sim,
+        n_pairs=1 + n_tcp,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=0.02,
+        bottleneck_queue_factory=lambda: RedQueue(
+            min_th=10, max_th=30, capacity_packets=80,
+            rng=red_rng, mean_pkt_time=mean_pkt_time,
+        ),
+    )
+    tfrc_rec = FlowRecorder("tfrc")
+    build_transport_pair(
+        sim, d.net.node("s0"), d.net.node("d0"), "tfrc", TFRC_MEDIA,
+        recorder=tfrc_rec, start=True,
+    )
+    tcp_recs = []
+    for i in range(1, 1 + n_tcp):
+        rec = FlowRecorder(f"tcp{i}")
+        tcp_recs.append(rec)
+        snd = TcpSender(sim, dst=f"d{i}", sack=True)
+        rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        snd.attach(d.net.node(f"s{i}"), f"tcp{i}")
+        rcv.attach(d.net.node(f"d{i}"), f"tcp{i}")
+        snd.start()
+    sim.run(until=duration)
+    tfrc_bps = tfrc_rec.mean_rate_bps(warmup, duration)
+    tcp_rates = [r.mean_rate_bps(warmup, duration) for r in tcp_recs]
+    tcp_mean = sum(tcp_rates) / len(tcp_rates)
+    return FriendlinessResult(
+        n_tcp=n_tcp,
+        tfrc_bps=tfrc_bps,
+        tcp_mean_bps=tcp_mean,
+        normalized=tfrc_bps / tcp_mean if tcp_mean > 0 else float("inf"),
+        jain=jain_index([tfrc_bps] + tcp_rates),
+    )

@@ -1,0 +1,98 @@
+"""F2 — lossy / multi-hop paths: TCP vs TFRC (paper §2, claim 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instances import TFRC_MEDIA, build_transport_pair
+from repro.harness.registry import register
+from repro.metrics.recorder import FlowRecorder
+from repro.netem.channels import BernoulliLossChannel, GilbertElliottChannel
+from repro.sim.engine import Simulator
+from repro.sim.topology import chain
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+
+@dataclass
+class LossyPathResult:
+    """Goodput over a lossy multi-hop path."""
+
+    protocol: str
+    loss_rate: float
+    observed_loss_rate: float
+    goodput_bps: float
+
+
+@register(
+    "lossy_path",
+    grid={
+        "protocol": ("tcp", "tfrc"),
+        "loss_rate": (0.005, 0.01, 0.02, 0.05, 0.08),
+        "bursty": (True, False),
+    },
+)
+def lossy_path_scenario(
+    protocol: str,
+    loss_rate: float,
+    n_hops: int = 3,
+    hop_rate_bps: float = 2e6,
+    hop_delay: float = 0.005,
+    bursty: bool = False,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    seed: int = 0,
+) -> LossyPathResult:
+    """TCP vs TFRC over a chain with per-hop random loss (paper §2 claim 1).
+
+    ``bursty=True`` uses a Gilbert–Elliott channel tuned to the same
+    steady-state loss rate; otherwise losses are Bernoulli.
+    """
+    sim = Simulator(seed=seed)
+    rng = sim.rng("wireless")
+
+    def channel_factory():
+        if loss_rate <= 0:
+            return None
+        if bursty:
+            # fix the bad-state dynamics, solve p_g2b for the target rate
+            p_bad, p_b2g = 0.5, 0.25
+            p_g2b = loss_rate * p_b2g / max(1e-9, (p_bad - loss_rate))
+            return GilbertElliottChannel(
+                p_g2b=min(0.9, p_g2b), p_b2g=p_b2g, p_bad=p_bad, rng=rng
+            )
+        return BernoulliLossChannel(loss_rate, rng=rng)
+
+    topo = chain(
+        sim,
+        n_hops=n_hops,
+        rate=hop_rate_bps,
+        delay=hop_delay,
+        channel_factory=channel_factory,
+    )
+    rec = FlowRecorder(protocol)
+    src, dst = topo.first, topo.last
+    if protocol == "tcp":
+        snd = TcpSender(sim, dst=dst.name, sack=True)
+        rcv = TcpReceiver(sim, recorder=rec, sack=True)
+        snd.attach(src, "flow")
+        rcv.attach(dst, "flow")
+        snd.start()
+    elif protocol == "tfrc":
+        build_transport_pair(
+            sim, src, dst, "flow", TFRC_MEDIA, recorder=rec, start=True
+        )
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    sim.run(until=duration)
+    observed = [
+        link.channel.observed_loss_rate()
+        for link in topo.hops
+        if link.channel is not None
+    ]
+    return LossyPathResult(
+        protocol=protocol,
+        loss_rate=loss_rate,
+        observed_loss_rate=sum(observed) / len(observed) if observed else 0.0,
+        goodput_bps=rec.mean_rate_bps(warmup, duration),
+    )

@@ -1,0 +1,73 @@
+"""T4 — selfish receivers (paper §3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instances import QTPLIGHT, TFRC_MEDIA, build_transport_pair
+from repro.core.qtplight import LyingFeedbackFilter
+from repro.harness.registry import register
+from repro.metrics.recorder import FlowRecorder
+from repro.sim.engine import Simulator
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import dumbbell
+
+
+@dataclass
+class SelfishResult:
+    """Goodput split between a (possibly cheating) flow and its victim."""
+
+    mode: str
+    lying: bool
+    cheater_bps: float
+    victim_bps: float
+
+
+@register(
+    "selfish_receiver",
+    grid={"mode": ("tfrc", "qtplight"), "lying": (False, True)},
+)
+def selfish_receiver_scenario(
+    mode: str,
+    lying: bool,
+    bottleneck_bps: float = 4e6,
+    duration: float = 80.0,
+    warmup: float = 20.0,
+    seed: int = 0,
+) -> SelfishResult:
+    """A (possibly lying) receiver shares a bottleneck with an honest TFRC.
+
+    ``mode`` is "tfrc" (standard, receiver-computed p — vulnerable) or
+    "qtplight" (sender-computed p — the paper's protection).  With
+    ``lying=True`` the first flow's receiver mangles its reports per
+    :class:`~repro.core.qtplight.LyingFeedbackFilter`.
+    """
+    if mode not in ("tfrc", "qtplight"):
+        raise ValueError(f"unknown mode {mode!r}")
+    sim = Simulator(seed=seed)
+    d = dumbbell(
+        sim,
+        n_pairs=2,
+        bottleneck_rate=bottleneck_bps,
+        bottleneck_delay=0.02,
+        bottleneck_queue_factory=lambda: DropTailQueue(capacity_packets=40),
+    )
+    cheater_rec = FlowRecorder("cheater")
+    victim_rec = FlowRecorder("victim")
+    profile = TFRC_MEDIA if mode == "tfrc" else QTPLIGHT
+    flt = LyingFeedbackFilter(p_scale=0.0, x_scale=4.0) if lying else None
+    build_transport_pair(
+        sim, d.net.node("s0"), d.net.node("d0"), "cheat", profile,
+        recorder=cheater_rec, feedback_filter=flt, start=True,
+    )
+    build_transport_pair(
+        sim, d.net.node("s1"), d.net.node("d1"), "victim", TFRC_MEDIA,
+        recorder=victim_rec, start=True,
+    )
+    sim.run(until=duration)
+    return SelfishResult(
+        mode=mode,
+        lying=lying,
+        cheater_bps=cheater_rec.mean_rate_bps(warmup, duration),
+        victim_bps=victim_rec.mean_rate_bps(warmup, duration),
+    )

@@ -1,0 +1,305 @@
+"""Parallel sweep runner with an on-disk result cache.
+
+:func:`run_matrix` fans a parameter grid for one registered scenario
+out across ``multiprocessing`` workers, collects structured
+:class:`RunRecord` results *in deterministic grid order* (regardless of
+worker completion order), and memoizes every completed run on disk
+keyed by ``(scenario, params, seed, code_version)`` — re-running an
+unchanged sweep is free.
+
+Determinism guarantees:
+
+* the grid expands in parameter-insertion order (``itertools.product``
+  over the given value sequences), so the same grid always yields the
+  same run list;
+* every run's seed is explicit in its parameter dict (either from the
+  grid/base or from the crossed ``seeds`` argument), and each scenario
+  derives all its randomness from that seed — the same grid run twice,
+  serially or with any worker count, produces identical records;
+* records come back ordered by grid position, never by completion.
+
+The cache key includes a hash of the ``repro`` package sources
+(``code_version``), so editing any simulator code transparently
+invalidates stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.harness.registry import get_scenario
+
+__all__ = [
+    "RunRecord",
+    "SweepCache",
+    "code_version",
+    "expand_grid",
+    "run_matrix",
+]
+
+
+@dataclass
+class RunRecord:
+    """One completed scenario run.
+
+    ``elapsed``/``cached``/``worker_pid`` are execution metadata and do
+    not participate in equality: two records are equal when the same
+    scenario with the same parameters produced the same result.
+    """
+
+    scenario: str
+    params: Dict[str, Any]
+    result: Any
+    elapsed: float = field(compare=False, default=0.0)
+    cached: bool = field(compare=False, default=False)
+    worker_pid: int = field(compare=False, default=0)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The run's seed, when one was part of its parameters."""
+        return self.params.get("seed")
+
+
+# ----------------------------------------------------------------------
+# grid expansion
+# ----------------------------------------------------------------------
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Expand ``{param: values}`` into the full cross product.
+
+    Points are ordered with the *first* grid key varying slowest — the
+    natural reading order of nested for-loops over the grid — and the
+    expansion is deterministic for a given grid.
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    value_lists = [list(grid[k]) for k in keys]
+    for key, values in zip(keys, value_lists):
+        if not values:
+            raise ValueError(f"grid parameter {key!r} has no values")
+    return [dict(zip(keys, combo)) for combo in itertools.product(*value_lists)]
+
+
+# ----------------------------------------------------------------------
+# code-version hashing and the on-disk cache
+# ----------------------------------------------------------------------
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hex digest of every ``repro`` source file (cache-key component).
+
+    Computed once per process; editing any file under ``src/repro``
+    changes the digest and thereby invalidates all cached results.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+class SweepCache:
+    """Pickle-per-run result store under one directory.
+
+    Filenames are ``<scenario>-<sha256 of (scenario, params, seed,
+    code_version)>.pkl``; parameters are JSON-canonicalized
+    (sorted keys) before hashing so dict ordering never matters.
+    """
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+
+    def key(self, scenario: str, params: Mapping[str, Any]) -> str:
+        payload = json.dumps(
+            {
+                "scenario": scenario,
+                "params": params,
+                # the seed also lives in params; it is keyed explicitly
+                # as well so the cache contract (scenario, params, seed,
+                # code_version) holds even for scenarios without one
+                "seed": params.get("seed"),
+                "code_version": code_version(),
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, scenario: str, params: Mapping[str, Any]) -> Path:
+        return self.directory / f"{scenario}-{self.key(scenario, params)}.pkl"
+
+    def load(self, scenario: str, params: Mapping[str, Any]) -> Optional[RunRecord]:
+        path = self._path(scenario, params)
+        try:
+            with path.open("rb") as fh:
+                record: RunRecord = pickle.load(fh)
+        except Exception:
+            # any unreadable/corrupt entry is a miss to recompute —
+            # garbage bytes can raise far more than UnpicklingError
+            # (OverflowError from a bogus frame length, MemoryError, ...)
+            return None
+        record.cached = True
+        return record
+
+    def store(self, record: RunRecord) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(record.scenario, record.params)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(record, fh)
+        tmp.replace(path)  # atomic even with concurrent sweeps
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _execute_run(task: Tuple[str, Dict[str, Any]]) -> RunRecord:
+    """Worker entry point: run one scenario invocation.
+
+    Top-level (picklable) and self-contained: it re-resolves the
+    scenario by name so it works identically in-process, in forked
+    workers and in spawned workers (where the registry starts empty).
+    """
+    scenario, params = task
+    spec = get_scenario(scenario)
+    start = time.perf_counter()
+    result = spec.fn(**spec.bind(params))
+    return RunRecord(
+        scenario=scenario,
+        params=params,
+        result=result,
+        elapsed=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_matrix(
+    scenario: str,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    *,
+    base: Optional[Mapping[str, Any]] = None,
+    seeds: Optional[Iterable[int]] = None,
+    workers: Optional[int] = 1,
+    cache_dir: Optional[Path] = None,
+    progress: Optional[Callable[[RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Run ``scenario`` over a parameter grid, optionally in parallel.
+
+    Parameters
+    ----------
+    scenario:
+        Registered scenario name (see :func:`repro.harness.registry.list_scenarios`).
+    grid:
+        ``{param: sequence of values}`` to cross; defaults to the
+        scenario's registered default sweep grid.
+    base:
+        Fixed keyword overrides applied to every grid point (a grid
+        value wins over a ``base`` value for the same key).
+    seeds:
+        Optional seeds crossed with every grid point (fastest-varying
+        axis).  Each becomes the run's explicit ``seed`` parameter —
+        the deterministic per-run seed the cache key and the scenario's
+        random streams derive from.
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``1`` (the
+        default) runs in-process with no pool overhead.  Results are
+        identical for every worker count.
+    cache_dir:
+        Directory for the on-disk memo; ``None`` disables caching.
+    progress:
+        Optional callback invoked with each finished/loaded record.
+
+    Returns
+    -------
+    list of RunRecord, in deterministic grid order.
+    """
+    spec = get_scenario(scenario)
+    if grid is None:
+        grid = spec.default_grid
+    points = expand_grid(grid)
+    if seeds is not None:
+        if "seed" in grid:
+            raise ValueError(
+                "the grid already sweeps 'seed'; drop the seeds argument "
+                "or the grid axis"
+            )
+        seed_list = list(seeds)  # tolerate one-shot iterables
+        points = [
+            {**point, "seed": seed} for point in points for seed in seed_list
+        ]
+    run_params: List[Dict[str, Any]] = []
+    for point in points:
+        params = {**(base or {}), **point}
+        spec.bind(params)  # validate names early, before any work
+        run_params.append(params)
+
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    records: List[Optional[RunRecord]] = [None] * len(run_params)
+    misses: List[int] = []
+    for i, params in enumerate(run_params):
+        cached = cache.load(scenario, params) if cache is not None else None
+        if cached is not None:
+            records[i] = cached
+            if progress is not None:
+                progress(cached)
+        else:
+            misses.append(i)
+
+    if misses:
+        tasks = [(scenario, run_params[i]) for i in misses]
+        n_workers = workers if workers is not None else (os.cpu_count() or 1)
+        if n_workers <= 1 or len(tasks) == 1:
+            fresh = map(_execute_run, tasks)
+            for i, record in zip(misses, fresh):
+                _finish(record, records, i, cache, progress)
+        else:
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=min(n_workers, len(tasks))) as pool:
+                # imap preserves task order while letting workers finish
+                # out of order; chunksize 1 keeps long runs load-balanced
+                for i, record in zip(misses, pool.imap(_execute_run, tasks, 1)):
+                    _finish(record, records, i, cache, progress)
+    assert all(r is not None for r in records)
+    return records  # type: ignore[return-value]
+
+
+def _finish(
+    record: RunRecord,
+    records: List[Optional[RunRecord]],
+    index: int,
+    cache: Optional[SweepCache],
+    progress: Optional[Callable[[RunRecord], None]],
+) -> None:
+    records[index] = record
+    if cache is not None:
+        cache.store(record)
+    if progress is not None:
+        progress(record)

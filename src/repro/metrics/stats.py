@@ -31,7 +31,9 @@ def throughput_series(
     bins = [0.0] * n_bins
     for t, size in events:
         if 0 <= t < end:
-            bins[int(t / bin_width)] += size
+            # t / bin_width can round up to n_bins for t just below end
+            # (e.g. t=11.399999999999999, bin_width=0.3, end=11.4)
+            bins[min(int(t / bin_width), n_bins - 1)] += size
     return [b / bin_width for b in bins]
 
 
@@ -89,7 +91,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lo == hi:
         return ordered[lo]
     frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    interpolated = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # the interpolation can land 1 ULP outside [ordered[lo], ordered[hi]]
+    # (e.g. values=[7.135396919844353e-221]*2, q=4.5); clamp it back
+    return min(max(interpolated, ordered[lo]), ordered[hi])
 
 
 def normalized_throughput(flow_rate: float, fair_share: float) -> float:

@@ -35,7 +35,7 @@ class Event:
     if the event may have to be cancelled (timers, retransmissions).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_popped")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
         self.time = time
@@ -43,10 +43,17 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
+        self._popped = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # keep the owning simulator's live-event count exact; a
+            # cancel after the event already fired must not decrement
+            if self._sim is not None and not self._popped:
+                self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -71,6 +78,7 @@ class Simulator:
         self.seed = seed
         self._heap: List[Event] = []
         self._seq = 0
+        self._live = 0
         self._rngs: Dict[str, random.Random] = {}
         self._running = False
         self._events_processed = 0
@@ -91,8 +99,10 @@ class Simulator:
                 f"cannot schedule at t={time!r} (now t={self.now!r})"
             )
         ev = Event(time, self._seq, fn, args)
+        ev._sim = self
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -147,6 +157,8 @@ class Simulator:
                 if until is not None and ev.time > until:
                     break
                 heapq.heappop(self._heap)
+                ev._popped = True
+                self._live -= 1
                 self.now = ev.time
                 ev.fn(*ev.args)
                 processed += 1
@@ -163,6 +175,8 @@ class Simulator:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            ev._popped = True
+            self._live -= 1
             self.now = ev.time
             ev.fn(*ev.args)
             self._events_processed += 1
@@ -171,8 +185,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still in the calendar."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still in the calendar.
+
+        O(1): a counter maintained on schedule/cancel/pop, instead of a
+        scan over the heap (this property sits inside assertion-heavy
+        loops in tests and scenarios).
+        """
+        return self._live
 
     @property
     def events_processed(self) -> int:

@@ -98,16 +98,20 @@ class LossIntervalHistory:
         closed = list(self._intervals)
         w = self.weights
         self.meter.charge(3 * len(closed) + 4)
-        # average over closed intervals only
+        # average over closed intervals only; the weighted mean can land
+        # 1 ULP outside [min, max] (e.g. three equal 1.9 intervals), so
+        # clamp it back — same fix as percentile() in metrics.stats
         w_used = w[: len(closed)]
         i_tot1 = sum(wi * ii for wi, ii in zip(w_used, closed))
         w_tot1 = sum(w_used)
+        avg1 = min(max(i_tot1 / w_tot1, min(closed)), max(closed))
         # average counting the open interval as most recent
         shifted = [self.open_interval] + closed[: self.n - 1]
         w_shift = w[: len(shifted)]
         i_tot0 = sum(wi * ii for wi, ii in zip(w_shift, shifted))
         w_tot0 = sum(w_shift)
-        return max(i_tot0 / w_tot0, i_tot1 / w_tot1)
+        avg0 = min(max(i_tot0 / w_tot0, min(shifted)), max(shifted))
+        return max(avg0, avg1)
 
     def loss_event_rate(self) -> float:
         """``p = 1 / average_interval`` (0.0 before any loss event)."""

@@ -106,6 +106,45 @@ class TestCancellation:
         assert sim.pending == 1
         assert keep.time == 1.0
 
+    def test_pending_counter_tracks_heap_scan(self):
+        # the O(1) counter must agree with a naive heap scan through
+        # schedule / cancel / run / step churn
+        sim = Simulator(seed=7)
+        rng = sim.rng("churn")
+        events = []
+
+        def naive():
+            return sum(1 for ev in sim._heap if not ev.cancelled and not ev._popped)
+
+        for i in range(200):
+            events.append(sim.schedule(rng.uniform(0, 10), lambda: None))
+            if rng.random() < 0.4:
+                rng.choice(events).cancel()
+            assert sim.pending == naive()
+        sim.run(until=5.0)
+        assert sim.pending == naive()
+        while sim.step():
+            assert sim.pending == naive()
+        assert sim.pending == 0
+
+    def test_pending_unchanged_by_cancel_after_fire(self):
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.pending == 1
+        fired.cancel()  # firing already consumed the event
+        fired.cancel()
+        assert sim.pending == 1
+
+    def test_pending_counts_double_cancel_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending == 1
+
 
 class TestRandomStreams:
     def test_streams_are_deterministic_per_seed(self):

@@ -23,6 +23,14 @@ class TestLossIntervalHistory:
         assert h.average_interval() == pytest.approx(100)
         assert h.loss_event_rate() == pytest.approx(0.01)
 
+    def test_average_of_equal_intervals_stays_within_range(self):
+        # regression: the weighted mean of three equal 1.9 intervals
+        # rounded to 1.8999999999999997, 1 ULP below min(intervals)
+        h = LossIntervalHistory()
+        for _ in range(3):
+            h.record_event(1.9)
+        assert 1.9 <= h.average_interval() <= 1.9
+
     def test_weights_favour_recent_intervals(self):
         h = LossIntervalHistory()
         for interval in [100] * 8:

@@ -60,6 +60,24 @@ class TestStats:
         series = throughput_series(events, bin_width=1.0, end=3.0)
         assert series == [100.0, 300.0, 0.0]
 
+    def test_percentile_interpolation_stays_within_range(self):
+        # regression: hypothesis falsifying example — the interpolation
+        # of two equal denormals landed 1 ULP below min(values)
+        values = [7.135396919844353e-221] * 2
+        result = percentile(values, 4.5)
+        assert min(values) <= result <= max(values)
+        assert result == values[0]
+
+    def test_throughput_series_bin_edge_rounding(self):
+        # regression: t just below end used to index bins[n_bins]
+        # because t / bin_width rounds up (11.399999999999999 / 0.3
+        # == 38.0 exactly in binary floating point)
+        t = 11.399999999999999
+        series = throughput_series([(t, 300)], bin_width=0.3, end=11.4)
+        assert len(series) == 38
+        assert series[-1] == pytest.approx(1000.0)
+        assert sum(series) == pytest.approx(1000.0)
+
     def test_normalized_throughput(self):
         assert normalized_throughput(2.0, 4.0) == 0.5
         with pytest.raises(ValueError):

@@ -144,6 +144,7 @@ class TestStatsProperties:
         idx = jain_index(values)
         assert 1.0 / len(values) - 1e-9 <= idx <= 1.0 + 1e-9
 
+    @settings(max_examples=500)
     @given(
         st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
         st.floats(min_value=0, max_value=100),

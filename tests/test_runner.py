@@ -1,0 +1,295 @@
+"""Tests for the scenario registry, sweep runner, cache and CLI."""
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.registry import get_scenario, list_scenarios
+from repro.harness.runner import (
+    RunRecord,
+    SweepCache,
+    code_version,
+    expand_grid,
+    run_matrix,
+)
+
+#: A small AF-assurance configuration every runner test shares; long
+#: enough to exercise the full pipeline, short enough to stay tier-1.
+AF_BASE = dict(n_cross=1, duration=3.0, warmup=1.0, bottleneck_bps=2e6)
+AF_GRID = {"protocol": ("tcp", "gtfrc"), "target_bps": (5e5, 1e6)}
+
+
+class TestRegistry:
+    def test_all_canonical_scenarios_registered(self):
+        names = {spec.name for spec in list_scenarios()}
+        assert {
+            "af_assurance",
+            "smoothness",
+            "lossy_path",
+            "friendliness",
+            "receiver_load",
+            "estimation_accuracy",
+            "selfish_receiver",
+            "reliability_modes",
+        } <= names
+
+    def test_unknown_scenario_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="af_assurance"):
+            get_scenario("definitely_not_a_scenario")
+
+    def test_schema_derived_from_signature(self):
+        spec = get_scenario("af_assurance")
+        assert spec.params["protocol"] is str
+        assert spec.params["target_bps"] is float
+        assert spec.params["n_cross"] is int
+        assert spec.params["assured_access_delay"] is float  # Optional[float]
+        assert spec.defaults["duration"] == 60.0
+        assert "target_bps" not in spec.defaults
+
+    def test_bind_rejects_unknown_parameters(self):
+        spec = get_scenario("af_assurance")
+        with pytest.raises(ValueError, match="no_such_param"):
+            spec.bind({"protocol": "tcp", "no_such_param": 1})
+
+    def test_coerce_cli_strings(self):
+        spec = get_scenario("lossy_path")
+        assert spec.coerce("loss_rate", "0.05") == 0.05
+        assert spec.coerce("bursty", "true") is True
+        assert spec.coerce("bursty", "0") is False
+        assert spec.coerce("n_hops", "3") == 3
+        assert spec.coerce("protocol", "tfrc") == "tfrc"
+        af = get_scenario("af_assurance")
+        assert af.coerce("assured_access_delay", "none") is None  # Optional
+
+    def test_coerce_none_is_only_special_for_optional_params(self):
+        # "none" is a real value for the reliability-mode axis...
+        rel = get_scenario("reliability_modes")
+        assert rel.coerce("mode", "none") == "none"
+        # ...and a parse error for a required numeric parameter
+        af = get_scenario("af_assurance")
+        with pytest.raises(ValueError):
+            af.coerce("n_cross", "none")
+
+    def test_coerce_int_accepts_scientific_but_rejects_fractions(self):
+        af = get_scenario("af_assurance")
+        assert af.coerce("n_cross", "1e1") == 10
+        with pytest.raises(ValueError, match="as int"):
+            af.coerce("n_cross", "2.7")
+
+    def test_default_grid_is_registered(self):
+        spec = get_scenario("af_assurance")
+        assert spec.default_grid["protocol"] == ("tcp", "tfrc", "gtfrc", "qtpaf")
+
+
+class TestExpandGrid:
+    def test_cross_product_in_insertion_order(self):
+        points = expand_grid({"a": (1, 2), "b": ("x", "y")})
+        assert points == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_grid_is_single_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_grid({"a": ()})
+
+
+class TestRunMatrix:
+    def test_same_grid_twice_identical_records(self):
+        first = run_matrix("af_assurance", AF_GRID, base=AF_BASE, seeds=(0, 1))
+        second = run_matrix("af_assurance", AF_GRID, base=AF_BASE, seeds=(0, 1))
+        assert len(first) == 8  # 2 protocols x 2 targets x 2 seeds
+        assert first == second  # RunRecord equality ignores timing metadata
+
+    def test_records_in_grid_order_with_seeds_fastest(self):
+        records = run_matrix("af_assurance", AF_GRID, base=AF_BASE, seeds=(0, 1))
+        combos = [
+            (r.params["protocol"], r.params["target_bps"], r.seed) for r in records
+        ]
+        assert combos == [
+            ("tcp", 5e5, 0), ("tcp", 5e5, 1),
+            ("tcp", 1e6, 0), ("tcp", 1e6, 1),
+            ("gtfrc", 5e5, 0), ("gtfrc", 5e5, 1),
+            ("gtfrc", 1e6, 0), ("gtfrc", 1e6, 1),
+        ]
+
+    def test_two_workers_match_serial(self):
+        serial = run_matrix("af_assurance", AF_GRID, base=AF_BASE, workers=1)
+        parallel = run_matrix("af_assurance", AF_GRID, base=AF_BASE, workers=2)
+        assert serial == parallel
+        assert [r.params for r in serial] == [r.params for r in parallel]
+
+    def test_invalid_parameter_fails_before_running(self):
+        with pytest.raises(ValueError, match="bogus"):
+            run_matrix("af_assurance", {"bogus": (1, 2)}, base=AF_BASE)
+
+    def test_missing_required_parameter_fails_before_running(self):
+        # a grid replaces the default grid, so dropping target_bps must
+        # raise upfront, not TypeError inside a worker
+        with pytest.raises(ValueError, match="target_bps"):
+            run_matrix("af_assurance", {"protocol": ("tcp",)}, base=AF_BASE)
+
+    def test_seeds_conflicting_with_seed_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="already sweeps 'seed'"):
+            run_matrix(
+                "smoothness", {"protocol": ("tfrc",), "seed": (0, 1)}, seeds=(7,)
+            )
+
+    def test_one_shot_seed_iterable_fully_expanded(self):
+        records = run_matrix(
+            "selfish_receiver",
+            {"mode": ("tfrc", "qtplight")},
+            base=dict(lying=False, duration=2.0, warmup=0.5),
+            seeds=iter([0, 1]),
+        )
+        assert len(records) == 4
+
+    def test_default_grid_used_when_none_given(self):
+        records = run_matrix(
+            "selfish_receiver", base=dict(duration=2.0, warmup=0.5)
+        )
+        assert len(records) == 4  # mode x lying default grid
+        assert {(r.params["mode"], r.params["lying"]) for r in records} == {
+            ("tfrc", False), ("tfrc", True),
+            ("qtplight", False), ("qtplight", True),
+        }
+
+
+class TestSweepCache:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache_dir = tmp_path / "memo"
+        first = run_matrix(
+            "af_assurance", AF_GRID, base=AF_BASE, cache_dir=cache_dir
+        )
+        assert all(not r.cached for r in first)
+        assert len(list(cache_dir.glob("af_assurance-*.pkl"))) == 4
+        second = run_matrix(
+            "af_assurance", AF_GRID, base=AF_BASE, cache_dir=cache_dir
+        )
+        assert all(r.cached for r in second)
+        assert second == first
+
+    def test_partial_grid_reuses_overlapping_runs(self, tmp_path):
+        cache_dir = tmp_path / "memo"
+        run_matrix("af_assurance", AF_GRID, base=AF_BASE, cache_dir=cache_dir)
+        wider = {"protocol": ("tcp", "gtfrc", "qtpaf"), "target_bps": (5e5, 1e6)}
+        records = run_matrix(
+            "af_assurance", wider, base=AF_BASE, cache_dir=cache_dir
+        )
+        by_proto = {}
+        for r in records:
+            by_proto.setdefault(r.params["protocol"], []).append(r.cached)
+        assert all(by_proto["tcp"]) and all(by_proto["gtfrc"])
+        assert not any(by_proto["qtpaf"])
+
+    def test_key_depends_on_params_seed_and_code_version(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        base = {"protocol": "tcp", "seed": 0}
+        assert cache.key("af_assurance", base) == cache.key("af_assurance", base)
+        assert cache.key("af_assurance", base) != cache.key("smoothness", base)
+        assert cache.key("af_assurance", base) != cache.key(
+            "af_assurance", {"protocol": "tcp", "seed": 1}
+        )
+        assert cache.key("af_assurance", base) != cache.key(
+            "af_assurance", {"protocol": "tfrc", "seed": 0}
+        )
+        assert len(code_version()) == 16
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache_dir = tmp_path / "memo"
+        run_matrix(
+            "selfish_receiver",
+            {"mode": ("tfrc",), "lying": (False,)},
+            base=dict(duration=2.0, warmup=0.5),
+            cache_dir=cache_dir,
+        )
+        for path in cache_dir.glob("*.pkl"):
+            # a bogus pickle frame header raises OverflowError, not
+            # UnpicklingError — load() must treat any garbage as a miss
+            path.write_bytes(b"\x80\x05\x95\xff\xff\xff\xff\xff\xff\xff\xff")
+        records = run_matrix(
+            "selfish_receiver",
+            {"mode": ("tfrc",), "lying": (False,)},
+            base=dict(duration=2.0, warmup=0.5),
+            cache_dir=cache_dir,
+        )
+        assert not records[0].cached
+
+
+class TestCli:
+    def test_list_names_scenarios(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "af_assurance" in out and "smoothness" in out
+
+    def test_run_prints_table_and_summary(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "run", "af_assurance",
+                "--sweep", "protocol=tcp,gtfrc",
+                "--set", "target_bps=1e6",
+                "--set", "duration=3.0",
+                "--set", "warmup=1.0",
+                "--set", "n_cross=1",
+                "--cache-dir", str(tmp_path / "memo"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: af_assurance" in out
+        assert "achieved_bps" in out
+        assert "2 runs (2 computed, 0 cached)" in out
+        # a second invocation is served entirely from the memo
+        assert cli_main(
+            [
+                "run", "af_assurance",
+                "--sweep", "protocol=tcp,gtfrc",
+                "--set", "target_bps=1e6",
+                "--set", "duration=3.0",
+                "--set", "warmup=1.0",
+                "--set", "n_cross=1",
+                "--cache-dir", str(tmp_path / "memo"),
+                "--quiet",
+            ]
+        ) == 0
+        assert "(0 computed, 2 cached)" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_errors(self, capsys):
+        assert cli_main(["run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_bad_sweep_spec_errors(self, capsys):
+        assert cli_main(["run", "af_assurance", "--sweep", "protocol"]) == 2
+        assert "--sweep needs" in capsys.readouterr().err
+
+    def test_run_duplicate_sweep_axis_errors(self, capsys):
+        code = cli_main(
+            [
+                "run", "af_assurance",
+                "--sweep", "protocol=tcp",
+                "--sweep", "protocol=gtfrc",
+            ]
+        )
+        assert code == 2
+        assert "given twice" in capsys.readouterr().err
+
+    def test_run_missing_required_param_errors_cleanly(self, capsys):
+        code = cli_main(
+            ["run", "af_assurance", "--sweep", "protocol=tcp", "--quiet"]
+        )
+        assert code == 2
+        assert "missing required parameter" in capsys.readouterr().err
+
+
+class TestRunRecord:
+    def test_equality_ignores_timing_metadata(self):
+        a = RunRecord("s", {"seed": 1}, result=3.0, elapsed=1.0, worker_pid=10)
+        b = RunRecord("s", {"seed": 1}, result=3.0, elapsed=9.0, cached=True)
+        assert a == b
+        assert a.seed == 1
+        assert RunRecord("s", {}, None).seed is None
