@@ -13,80 +13,33 @@ TFRC undershoots; the hard floor is the most exact.
 
 import pytest
 
-from conftest import emit_table
-from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
-from repro.core.profile import ReliabilityMode
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.experiments.ablation import gtfrc_ablation_scenario
+from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
-from repro.metrics.recorder import FlowRecorder
-from repro.qos.marking import ProfileMarker
-from repro.qos.sla import ServiceLevelAgreement
-from repro.sim.engine import Simulator
-from repro.sim.queues import RioQueue
-from repro.sim.topology import dumbbell
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
-from repro.tfrc.gtfrc import GtfrcRateController
 
 
 pytestmark = pytest.mark.slow
 
 TARGET = 6e6
-N_CROSS = 8
-
-
-def ablation_run(variant: str, seed: int = 3):
-    sim = Simulator(seed=seed)
-    sla = ServiceLevelAgreement("assured", TARGET, burst_bytes=30_000)
-    markers = [ProfileMarker(sla.build_meter(), flow_id="assured")] + [None] * N_CROSS
-    d = dumbbell(
-        sim,
-        n_pairs=1 + N_CROSS,
-        bottleneck_rate=10e6,
-        bottleneck_delay=0.02,
-        bottleneck_queue_factory=lambda: RioQueue(
-            rng=sim.rng("rio"), mean_pkt_time=0.0008
-        ),
-        access_delays=[0.1] + [0.002] * N_CROSS,
-        access_markers=markers,
-    )
-    rec = FlowRecorder()
-    if variant == "none":
-        profile, controller = TFRC_MEDIA, None
-    else:
-        profile = QTPAF(TARGET, name=f"gTFRC-{variant}",
-                        reliability=ReliabilityMode.NONE)
-        controller = GtfrcRateController(
-            TARGET / 8, profile.segment_size, p_scaling=(variant == "p-scaling")
-        )
-    from repro.core.sender import QtpSender
-    from repro.core.receiver import QtpReceiver
-
-    sender = QtpSender(sim, dst="d0", profile=profile, controller=controller)
-    receiver = QtpReceiver(sim, profile=profile, recorder=rec)
-    sender.attach(d.net.node("s0"), "assured")
-    receiver.attach(d.net.node("d0"), "assured")
-    sender.start()
-    for i in range(1, 1 + N_CROSS):
-        TcpSender(sim, dst=f"d{i}", sack=True).attach(
-            d.net.node(f"s{i}"), f"x{i}"
-        ).start()
-        TcpReceiver(sim, sack=True).attach(d.net.node(f"d{i}"), f"x{i}")
-    sim.run(until=40.0)
-    floor_hits = getattr(sender.controller, "floor_activations", 0)
-    return {
-        "achieved": rec.mean_rate_bps(10.0, 40.0),
-        "floor_hits": floor_hits,
-    }
+VARIANTS = ("floor", "p-scaling", "none")
 
 
 @pytest.fixture(scope="module")
 def runs():
-    return {v: ablation_run(v) for v in ("floor", "p-scaling", "none")}
+    records = run_matrix(
+        "gtfrc_ablation",
+        {"variant": VARIANTS},
+        base=dict(target_bps=TARGET, seed=3),
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {r.params["variant"]: r.result for r in records}
 
 
 def test_a1_table(runs, benchmark):
     rows = [
-        [v, r["achieved"] / 1e6, r["achieved"] / TARGET, r["floor_hits"]]
+        [v, r.achieved_bps / 1e6, r.achieved_bps / TARGET, r.floor_hits]
         for v, r in runs.items()
     ]
     emit_table(
@@ -97,15 +50,15 @@ def test_a1_table(runs, benchmark):
             title="A1: gTFRC mechanism ablation (g = 6 Mb/s, T1 conditions)",
         ),
     )
-    benchmark.pedantic(ablation_run, args=("floor",), kwargs=dict(seed=4),
-                       rounds=1, iterations=1)
+    benchmark.pedantic(gtfrc_ablation_scenario, args=("floor",),
+                       kwargs=dict(seed=4), rounds=1, iterations=1)
 
 
 def test_a1_qos_variants_beat_plain_tfrc(runs):
-    assert runs["floor"]["achieved"] > runs["none"]["achieved"]
-    assert runs["p-scaling"]["achieved"] > runs["none"]["achieved"]
+    assert runs["floor"].achieved_bps > runs["none"].achieved_bps
+    assert runs["p-scaling"].achieved_bps > runs["none"].achieved_bps
 
 
 def test_a1_floor_most_exact(runs):
-    floor_err = abs(runs["floor"]["achieved"] / TARGET - 1.0)
+    floor_err = abs(runs["floor"].achieved_bps / TARGET - 1.0)
     assert floor_err < 0.1

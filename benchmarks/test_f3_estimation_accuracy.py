@@ -7,7 +7,8 @@ RFC 3448 receiver-side estimator, across channel loss rates.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import estimation_accuracy_scenario
 from repro.harness.tables import format_table
 
@@ -19,10 +20,14 @@ LOSS_RATES = (0.005, 0.01, 0.02, 0.04, 0.08)
 
 @pytest.fixture(scope="module")
 def sweep():
-    return {
-        loss: estimation_accuracy_scenario(loss, duration=50.0, warmup=10.0, seed=2)
-        for loss in LOSS_RATES
-    }
+    records = run_matrix(
+        "estimation_accuracy",
+        {"loss_rate": LOSS_RATES},
+        base=dict(duration=50.0, warmup=10.0, seed=2),
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {r.params["loss_rate"]: r.result for r in records}
 
 
 def test_f3_table(sweep, benchmark):

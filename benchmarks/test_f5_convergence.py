@@ -10,85 +10,37 @@ dip depth and the time spent below 90% of ``g``.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.experiments.convergence import convergence_scenario
+from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
-from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
-from repro.core.profile import ReliabilityMode
-from repro.metrics.recorder import FlowRecorder
-from repro.qos.marking import ProfileMarker
-from repro.qos.sla import ServiceLevelAgreement
-from repro.sim.engine import Simulator
-from repro.sim.queues import RioQueue
-from repro.sim.topology import dumbbell
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
 
 
 pytestmark = pytest.mark.slow
 
 TARGET = 5e6
 STEP_TIME = 20.0
-DURATION = 60.0
-N_CROSS = 8
-
-
-def convergence_run(protocol: str, seed: int = 3):
-    """One assured flow; cross traffic joins at STEP_TIME."""
-    sim = Simulator(seed=seed)
-    sla = ServiceLevelAgreement("assured", TARGET, burst_bytes=30_000)
-    markers = [ProfileMarker(sla.build_meter(), flow_id="assured")] + [None] * N_CROSS
-    d = dumbbell(
-        sim,
-        n_pairs=1 + N_CROSS,
-        bottleneck_rate=10e6,
-        bottleneck_delay=0.02,
-        bottleneck_queue_factory=lambda: RioQueue(
-            rng=sim.rng("rio"), mean_pkt_time=0.0008
-        ),
-        access_delays=[0.1] + [0.002] * N_CROSS,
-        access_markers=markers,
-    )
-    rec = FlowRecorder("assured")
-    profile = (
-        QTPAF(TARGET, name="gTFRC", reliability=ReliabilityMode.NONE)
-        if protocol == "gtfrc"
-        else TFRC_MEDIA
-    )
-    build_transport_pair(
-        sim, d.net.node("s0"), d.net.node("d0"), "assured", profile,
-        recorder=rec, start=True,
-    )
-    for i in range(1, 1 + N_CROSS):
-        snd = TcpSender(sim, dst=f"d{i}", sack=True)
-        rcv = TcpReceiver(sim, sack=True)
-        snd.attach(d.net.node(f"s{i}"), f"x{i}")
-        rcv.attach(d.net.node(f"d{i}"), f"x{i}")
-        sim.schedule(STEP_TIME, snd.start)
-    sim.run(until=DURATION)
-    series = rec.series(1.0, end=DURATION)  # bytes/s per 1 s bin
-    series_bps = [8 * v for v in series]
-    after = series_bps[int(STEP_TIME) + 1:]
-    below = [v for v in after if v < 0.9 * TARGET]
-    return {
-        "series": series_bps,
-        "min_after_step": min(after),
-        "time_below_90pct": float(len(below)),  # 1 s bins
-        "mean_after_step": sum(after) / len(after),
-    }
 
 
 @pytest.fixture(scope="module")
 def runs():
-    return {proto: convergence_run(proto) for proto in ("tfrc", "gtfrc")}
+    records = run_matrix(
+        "convergence",
+        {"protocol": ("tfrc", "gtfrc")},
+        base=dict(target_bps=TARGET, step_time=STEP_TIME, seed=3),
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {r.params["protocol"]: r.result for r in records}
 
 
 def test_f5_table(runs, benchmark):
     rows = [
         [
             proto,
-            r["min_after_step"] / 1e6,
-            r["time_below_90pct"],
-            r["mean_after_step"] / 1e6,
+            r.min_after_step / 1e6,
+            r.time_below_90pct,
+            r.mean_after_step / 1e6,
         ]
         for proto, r in runs.items()
     ]
@@ -104,16 +56,17 @@ def test_f5_table(runs, benchmark):
     )
     # series "figure" as a coarse text sparkline
     marks = " ".join(
-        f"{v / 1e6:.1f}" for v in runs["gtfrc"]["series"][::5]
+        f"{v / 1e6:.1f}" for v in runs["gtfrc"].series_bps[::5]
     )
     emit_table("f5_series_gtfrc", "gTFRC Mb/s every 5 s: " + marks)
-    benchmark.pedantic(convergence_run, args=("gtfrc",), rounds=1, iterations=1)
+    benchmark.pedantic(convergence_scenario, args=("gtfrc",), rounds=1,
+                       iterations=1)
 
 
 def test_f5_gtfrc_holds_through_step(runs):
-    assert runs["gtfrc"]["time_below_90pct"] <= 3.0
-    assert runs["gtfrc"]["mean_after_step"] >= 0.9 * TARGET
+    assert runs["gtfrc"].time_below_90pct <= 3.0
+    assert runs["gtfrc"].mean_after_step >= 0.9 * TARGET
 
 
 def test_f5_tfrc_dips_deeper(runs):
-    assert runs["tfrc"]["min_after_step"] < runs["gtfrc"]["min_after_step"]
+    assert runs["tfrc"].min_after_step < runs["gtfrc"].min_after_step

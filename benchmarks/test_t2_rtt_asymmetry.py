@@ -8,7 +8,8 @@ achieved/target matrix over the assured flow's access delay.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import af_dumbbell_scenario
 from repro.harness.tables import format_table
 
@@ -22,12 +23,16 @@ CONFIG = dict(target_bps=5e6, n_cross=8, duration=40.0, warmup=10.0, seed=3)
 
 @pytest.fixture(scope="module")
 def sweep():
+    records = run_matrix(
+        "af_assurance",
+        {"assured_access_delay": ACCESS_DELAYS, "protocol": PROTOCOLS},
+        base=CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
     return {
-        (delay, proto): af_dumbbell_scenario(
-            proto, assured_access_delay=delay, **CONFIG
-        )
-        for delay in ACCESS_DELAYS
-        for proto in PROTOCOLS
+        (r.params["assured_access_delay"], r.params["protocol"]): r.result
+        for r in records
     }
 
 

@@ -12,9 +12,8 @@ import random
 
 import pytest
 
-from conftest import emit_table
-from repro.core.instances import QTPAF, QTPLIGHT, TFRC_MEDIA
-from repro.harness.scenarios import receiver_load_scenario
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
 from repro.sack.blocks import ReceiverSackState
 from repro.tfrc.loss_history import LossEventEstimator
@@ -22,29 +21,34 @@ from repro.tfrc.loss_history import LossEventEstimator
 
 pytestmark = pytest.mark.slow
 
-PROFILES = (TFRC_MEDIA, QTPLIGHT, QTPAF(1e6))
+#: Sweep names in table order; results key by the composition's
+#: display name ("TFRC", "QTPlight", "QTPAF").
+PROFILE_NAMES = ("tfrc", "qtplight", "qtpaf")
 LOSS_RATES = (0.0, 0.02, 0.05)
 
 
 @pytest.fixture(scope="module")
 def sweep():
+    records = run_matrix(
+        "receiver_load",
+        {"profile": PROFILE_NAMES, "loss_rate": LOSS_RATES},
+        base=dict(duration=30.0, seed=2),
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
     return {
-        (profile.name, loss): receiver_load_scenario(
-            profile, loss_rate=loss, duration=30.0, seed=2
-        )
-        for profile in PROFILES
-        for loss in LOSS_RATES
+        (r.result.profile_name, r.params["loss_rate"]): r.result for r in records
     }
 
 
 def test_t3_table(sweep, benchmark):
     rows = []
-    for profile in PROFILES:
+    for name in ("TFRC", "QTPlight", "QTPAF"):
         for loss in LOSS_RATES:
-            r = sweep[(profile.name, loss)]
+            r = sweep[(name, loss)]
             rows.append(
                 [
-                    profile.name,
+                    name,
                     f"{loss * 100:.0f}%",
                     r.packets,
                     r.rx_ops_per_packet,

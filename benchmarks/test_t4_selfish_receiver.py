@@ -10,7 +10,8 @@ is detected and throttled to the protocol floor.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import selfish_receiver_scenario
 from repro.harness.tables import format_table
 
@@ -22,11 +23,14 @@ CONFIG = dict(duration=60.0, warmup=15.0, seed=2)
 
 @pytest.fixture(scope="module")
 def matrix():
-    return {
-        (mode, lying): selfish_receiver_scenario(mode, lying, **CONFIG)
-        for mode in ("tfrc", "qtplight")
-        for lying in (False, True)
-    }
+    records = run_matrix(
+        "selfish_receiver",
+        {"mode": ("tfrc", "qtplight"), "lying": (False, True)},
+        base=CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {(r.params["mode"], r.params["lying"]): r.result for r in records}
 
 
 def test_t4_table(matrix, benchmark):

@@ -9,8 +9,9 @@ repairs them but late, and the partial modes give the best of both.
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
 from repro.core.profile import ReliabilityMode
+from repro.harness.runner import run_matrix
 from repro.harness.scenarios import reliability_scenario
 from repro.harness.tables import format_table
 
@@ -27,9 +28,14 @@ MODES = (
 
 @pytest.fixture(scope="module")
 def sweep():
-    return {
-        mode: reliability_scenario(mode, duration=60.0, seed=2) for mode in MODES
-    }
+    records = run_matrix(
+        "reliability_modes",
+        {"mode": tuple(m.value for m in MODES)},
+        base=dict(duration=60.0, seed=2),
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {ReliabilityMode(r.params["mode"]): r.result for r in records}
 
 
 def test_t5_table(sweep, benchmark):

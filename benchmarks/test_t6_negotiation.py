@@ -1,22 +1,20 @@
 """T6 — versatility: one stack, many negotiated instances (paper §1).
 
 Regenerates the negotiation matrix (which capability pairs produce
-which instance) and measures the cost of versatility itself: the time
-to negotiate and to compose a transport pair, and the wire handshake's
-one-round-trip establishment.
+which instance) via the registered ``negotiation`` scenario sweep, and
+measures the cost of versatility itself: the time to negotiate and to
+compose a transport pair, and the wire handshake's one-round-trip
+establishment.
 """
 
 import pytest
 
-from conftest import emit_table
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
 from repro.core.connection import Initiator, Responder
-from repro.core.negotiation import CapabilitySet, NegotiationError, negotiate
-from repro.core.profile import (
-    CongestionControl,
-    LossEstimationSite,
-    ReliabilityMode,
-)
+from repro.core.negotiation import CapabilitySet, negotiate
 from repro.core.instances import TFRC_MEDIA, build_transport_pair
+from repro.harness.experiments.negotiation_matrix import NEGOTIATION_PAIRS
+from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
 from repro.sim.engine import Simulator
 from repro.sim.topology import dumbbell
@@ -24,62 +22,20 @@ from repro.sim.topology import dumbbell
 
 pytestmark = pytest.mark.slow
 
-SCENARIOS = [
-    ("default/default", CapabilitySet(), CapabilitySet()),
-    (
-        "server/mobile",
-        CapabilitySet(),
-        CapabilitySet(light_receiver=True),
-    ),
-    (
-        "qos streaming",
-        CapabilitySet(
-            qos_target_bps=4e6,
-            reliability_modes=(ReliabilityMode.FULL,),
-            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
-        ),
-        CapabilitySet(
-            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
-            reliability_modes=(ReliabilityMode.FULL, ReliabilityMode.NONE),
-        ),
-    ),
-    (
-        "media/partial",
-        CapabilitySet(
-            reliability_modes=(ReliabilityMode.PARTIAL_TIME, ReliabilityMode.NONE)
-        ),
-        CapabilitySet(),
-    ),
-    (
-        "mobile+qos",
-        CapabilitySet(
-            qos_target_bps=2e6,
-            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
-        ),
-        CapabilitySet(
-            light_receiver=True,
-            congestion_controls=(CongestionControl.GTFRC, CongestionControl.TFRC),
-        ),
-    ),
-]
-
 
 def test_t6_matrix(benchmark):
+    records = run_matrix(
+        "negotiation",
+        {"pair": NEGOTIATION_PAIRS},
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
     rows = []
-    for label, initiator, responder in SCENARIOS:
-        try:
-            profile = negotiate(initiator, responder)
-            rows.append(
-                [
-                    label,
-                    profile.name,
-                    profile.congestion_control.value,
-                    profile.reliability.value,
-                    profile.loss_estimation.value,
-                ]
-            )
-        except NegotiationError as exc:  # pragma: no cover - none expected
-            rows.append([label, "FAILED", str(exc), "", ""])
+    for record in records:
+        r = record.result
+        rows.append(
+            [r.pair, r.instance, r.congestion_control, r.reliability, r.estimation]
+        )
     emit_table(
         "t6_negotiation",
         format_table(

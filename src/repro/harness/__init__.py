@@ -12,6 +12,9 @@ Three layers:
   sweeps instead of hand-rolling loops and re-runs are free.
 * the CLI — ``python -m repro.harness run <scenario> --sweep ...``
   (see :mod:`repro.harness.cli`).
+* :mod:`repro.harness.bench` — the pinned perf suite behind
+  ``python -m repro.harness bench`` / ``bench --check`` and the
+  golden trace probes that pin the engine's exact behavior.
 
 The historical flat imports (``from repro.harness.scenarios import
 af_dumbbell_scenario``) keep working via the re-export shim.
@@ -28,19 +31,25 @@ from repro.harness.scenarios import (
     AfResult,
     LossyPathResult,
     af_dumbbell_scenario,
-    lossy_path_scenario,
-    smoothness_scenario,
-    friendliness_scenario,
-    receiver_load_scenario,
+    convergence_scenario,
     estimation_accuracy_scenario,
-    selfish_receiver_scenario,
+    friendliness_scenario,
+    gtfrc_ablation_scenario,
+    lossy_path_scenario,
+    negotiation_scenario,
+    receiver_load_scenario,
     reliability_scenario,
+    selfish_receiver_scenario,
+    smoothness_scenario,
 )
 from repro.harness.tables import format_table
 
 __all__ = [
     "af_dumbbell_scenario",
+    "convergence_scenario",
+    "gtfrc_ablation_scenario",
     "lossy_path_scenario",
+    "negotiation_scenario",
     "smoothness_scenario",
     "friendliness_scenario",
     "receiver_load_scenario",

@@ -1,0 +1,396 @@
+"""Perf benchmark subsystem: pinned micro+macro suite and trace probes.
+
+Single-run speed is a first-class, continuously measured property of
+this repository (ROADMAP north star: "runs as fast as the hardware
+allows").  This module provides
+
+* a **pinned benchmark suite** (:data:`BENCHMARKS`) covering the three
+  hot layers of the simulation core — the engine event loop, the
+  packet/queue forwarding path and an end-to-end T1 scenario run —
+  each reported as a rate (higher is better);
+* the ``python -m repro.harness bench`` command (see
+  :mod:`repro.harness.cli`) which runs the suite, prints a table and
+  writes ``BENCH_core.json``; ``bench --check`` instead compares a
+  fresh run against the committed numbers and fails on a >20%
+  slowdown, guarding future PRs against perf regressions;
+* **trace probes** (:func:`engine_trace_probe`,
+  :func:`network_trace_probe`) — deterministic workloads that distill a
+  run into exact, comparable fingerprints (event sequence digest,
+  ``events_processed``, final ``sim.now``, per-flow delivered bytes).
+  The golden tests pin their output to values captured from the seed
+  engine, proving that perf work never changes simulation results.
+
+Wall-clock numbers are machine-dependent; the JSON file records both
+the frozen pre-optimization ``baseline`` and the ``current`` numbers
+measured on the same machine, so the committed speedup ratios are
+apples-to-apples even though absolute rates vary across hosts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+#: Default location of the committed benchmark record (repo root).
+BENCH_FILE = "BENCH_core.json"
+
+#: ``bench --check`` fails when any metric is slower than committed
+#: current numbers by more than this factor.
+REGRESSION_TOLERANCE = 0.20
+
+
+# ----------------------------------------------------------------------
+# micro benchmarks (each returns "work units done"; the driver times it)
+# ----------------------------------------------------------------------
+def _bench_engine_events(n_events: int = 150_000, n_timers: int = 16) -> float:
+    """Engine micro: self-rescheduling timer churn through the heap.
+
+    Mirrors the protocol workload: a handful of interleaved periodic
+    callbacks, each pop followed by a push, with the occasional cancel.
+    """
+    sim = Simulator(seed=1)
+    count = [0]
+
+    def tick(interval: float) -> None:
+        count[0] += 1
+        if count[0] < n_events:
+            ev = sim.schedule(interval, tick, interval)
+            if count[0] % 97 == 0:  # light cancellation churn
+                ev.cancel()
+                sim.schedule(interval, tick, interval)
+
+    for i in range(n_timers):
+        sim.schedule(0.001 * (i + 1), tick, 0.001 * (i + 1))
+    sim.run()
+    return float(sim.events_processed)
+
+
+def _bench_packet_alloc(n_packets: int = 120_000) -> float:
+    """Packet-layer micro: allocation + header construction rate."""
+    from repro.sim.packet import Packet, PacketKind, TfrcDataHeader
+
+    for seq in range(n_packets):
+        Packet(
+            src="s0",
+            dst="d0",
+            flow_id="f",
+            size=1000,
+            kind=PacketKind.DATA,
+            header=TfrcDataHeader(seq=seq, timestamp=0.001 * seq, rtt_estimate=0.05),
+            created_at=0.001 * seq,
+        )
+    return float(n_packets)
+
+
+def _bench_rio_queue(n_packets: int = 120_000) -> float:
+    """Queue micro: packets/s through a RIO queue (enqueue+dequeue)."""
+    import random
+
+    from repro.sim.packet import Color, Packet
+    from repro.sim.queues import RioQueue
+
+    rng = random.Random(42)
+    queue = RioQueue(rng=random.Random(7))
+    colors = (Color.GREEN, Color.YELLOW, Color.RED)
+    packets = [
+        Packet(src="s", dst="d", flow_id="f", size=1000, color=colors[rng.randrange(3)])
+        for _ in range(64)
+    ]
+    now = 0.0
+    for i in range(n_packets):
+        now += 0.0005
+        queue.enqueue(packets[i & 63], now)
+        if i & 1:
+            queue.dequeue(now)
+    while queue.dequeue(now) is not None:
+        pass
+    return float(n_packets)
+
+
+def _bench_loss_estimator(n_packets: int = 60_000) -> float:
+    """Receiver-bookkeeping micro: RFC 3448 loss machinery arrival rate."""
+    import random
+
+    from repro.tfrc.loss_history import LossEventEstimator
+
+    rng = random.Random(7)
+    seqs = [seq for seq in range(n_packets) if rng.random() >= 0.02]
+    est = LossEventEstimator()
+    t = 0.0
+    for seq in seqs:
+        t += 0.001
+        est.on_packet(seq, t, 0.05)
+    est.loss_event_rate()
+    return float(len(seqs))
+
+
+def _bench_t1_scenario() -> float:
+    """Macro: one end-to-end T1 run (QTPAF + 4 TCP cross on RIO).
+
+    The exact configuration timed by ``benchmarks/test_t1_af_assurance``;
+    the unit of work is one full scenario run, so the reported rate is
+    runs/s and its reciprocal is the t1 wall clock.
+    """
+    from repro.harness.registry import get_scenario
+
+    spec = get_scenario("af_assurance")
+    spec.fn("qtpaf", target_bps=4e6, n_cross=4, duration=10.0, warmup=2.0, seed=3)
+    return 1.0
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One pinned benchmark: a callable returning work units done."""
+
+    name: str
+    fn: Callable[[], float]
+    unit: str
+    repeats: int = 3
+
+
+#: The pinned suite.  Names are stable: they key the JSON record and the
+#: regression check, so renaming one orphans its committed baseline.
+BENCHMARKS: List[BenchSpec] = [
+    BenchSpec("engine_events", _bench_engine_events, "events/s"),
+    BenchSpec("packet_alloc", _bench_packet_alloc, "packets/s"),
+    BenchSpec("rio_queue", _bench_rio_queue, "packets/s"),
+    BenchSpec("loss_estimator", _bench_loss_estimator, "packets/s"),
+    BenchSpec("t1_scenario", _bench_t1_scenario, "runs/s"),
+]
+
+
+def run_suite(repeats: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+    """Run every benchmark, best-of-``repeats``, returning name → metrics.
+
+    Each metric dict has ``rate`` (work units per second, higher is
+    better) and ``seconds`` (best wall clock of one repetition).
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for spec in BENCHMARKS:
+        best = float("inf")
+        units = 0.0
+        for _ in range(repeats if repeats is not None else spec.repeats):
+            start = time.perf_counter()
+            units = spec.fn()
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        results[spec.name] = {
+            "rate": units / best if best > 0 else 0.0,
+            "seconds": best,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# record file handling
+# ----------------------------------------------------------------------
+def load_record(path: Path) -> Optional[dict]:
+    """Load a BENCH_core.json record, or None when absent/unreadable."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def write_record(
+    path: Path,
+    current: Dict[str, Dict[str, float]],
+    baseline: Optional[Dict[str, Dict[str, float]]] = None,
+) -> dict:
+    """Write the benchmark record, preserving any existing baseline.
+
+    The ``baseline`` section is frozen at the pre-optimization numbers:
+    it is only taken from the argument (or an existing file) and never
+    overwritten by a plain re-run, so the committed speedup ratios stay
+    anchored to the seed engine.
+    """
+    path = Path(path)
+    if baseline is None:
+        existing = load_record(path)
+        if existing and "baseline" in existing:
+            baseline = existing["baseline"]["metrics"]
+    record = {
+        "schema": 1,
+        "suite": [spec.name for spec in BENCHMARKS],
+        "baseline": {"metrics": baseline} if baseline else None,
+        "current": {"metrics": current},
+        "speedup": {
+            name: current[name]["rate"] / baseline[name]["rate"]
+            for name in current
+            if baseline and name in baseline and baseline[name]["rate"] > 0
+        },
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def check_regression(
+    committed: dict,
+    fresh: Dict[str, Dict[str, float]],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare a fresh run against the committed record.
+
+    Returns a list of human-readable failures (empty = pass): any
+    benchmark whose fresh rate falls more than ``tolerance`` below the
+    committed ``current`` rate is a regression.
+    """
+    failures: List[str] = []
+    committed_metrics = (committed.get("current") or {}).get("metrics") or {}
+    for name, metrics in committed_metrics.items():
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        committed_rate = metrics.get("rate", 0.0)
+        fresh_rate = fresh[name]["rate"]
+        if committed_rate > 0 and fresh_rate < (1.0 - tolerance) * committed_rate:
+            failures.append(
+                f"{name}: {fresh_rate:,.0f}/s is "
+                f"{(1 - fresh_rate / committed_rate) * 100:.0f}% below the "
+                f"committed {committed_rate:,.0f}/s (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# trace probes: exact fingerprints of deterministic runs
+# ----------------------------------------------------------------------
+def engine_trace_probe(seed: int = 0, n_events: int = 4000) -> Dict[str, object]:
+    """Churn the raw engine and fingerprint the exact firing sequence.
+
+    Schedules a seeded random mix of one-shot and rescheduling events
+    with cancellation churn, then digests every ``(time, tag)`` firing
+    in order.  Any change to event ordering, tie-breaking or
+    cancellation semantics changes the digest.
+    """
+    sim = Simulator(seed=seed)
+    rng = sim.rng("probe")
+    digest = hashlib.sha256()
+    fired = [0]
+    handles: List[object] = []
+
+    def fire(tag: int) -> None:
+        fired[0] += 1
+        digest.update(f"{sim.now!r}:{tag}".encode())
+        if fired[0] < n_events:
+            handles.append(sim.schedule(rng.uniform(0.0, 0.01), fire, fired[0]))
+            if rng.random() < 0.25 and handles:
+                handles.pop(rng.randrange(len(handles))).cancel()
+
+    for tag in range(8):
+        handles.append(sim.schedule(rng.uniform(0.0, 0.01), fire, tag))
+    sim.run()
+    return {
+        "digest": digest.hexdigest(),
+        "events_processed": sim.events_processed,
+        "final_now": repr(sim.now),
+    }
+
+
+def network_trace_probe(
+    seed: int = 0, protocol: str = "qtpaf", duration: float = 5.0
+) -> Dict[str, object]:
+    """Run a miniature T1-style network and fingerprint the outcome.
+
+    A QTPAF/TFRC/TCP assured flow plus two TCP cross flows on a RIO
+    bottleneck — every hot layer (engine, packets, links, RIO, TFRC
+    loss machinery, recorders) participates.  Returns exact integers
+    and ``repr``-precision floats: ``events_processed``, final
+    ``sim.now`` and per-flow delivered byte counts.
+    """
+    from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
+    from repro.metrics.recorder import FlowRecorder
+    from repro.qos.marking import ProfileMarker
+    from repro.qos.sla import ServiceLevelAgreement
+    from repro.sim.queues import RioQueue
+    from repro.sim.topology import dumbbell
+    from repro.tcp.receiver import TcpReceiver
+    from repro.tcp.sender import TcpSender
+
+    n_cross = 2
+    sim = Simulator(seed=seed)
+    sla = ServiceLevelAgreement(
+        flow_id="assured", committed_rate_bps=4e6, burst_bytes=30_000
+    )
+    markers = [ProfileMarker(sla.build_meter(), flow_id="assured")] + [None] * n_cross
+    d = dumbbell(
+        sim,
+        n_pairs=1 + n_cross,
+        bottleneck_rate=10e6,
+        bottleneck_delay=0.02,
+        bottleneck_queue_factory=lambda: RioQueue(
+            rng=sim.rng("rio"), mean_pkt_time=0.0008
+        ),
+        access_delays=[0.05] + [0.002] * n_cross,
+        access_markers=markers,
+    )
+    recorders = {"assured": FlowRecorder("assured")}
+    if protocol == "tcp":
+        snd = TcpSender(sim, dst="d0", sack=True)
+        rcv = TcpReceiver(sim, recorder=recorders["assured"], sack=True)
+        snd.attach(d.net.node("s0"), "assured")
+        rcv.attach(d.net.node("d0"), "assured")
+        snd.start()
+    else:
+        profile = QTPAF(4e6) if protocol == "qtpaf" else TFRC_MEDIA
+        build_transport_pair(
+            sim,
+            d.net.node("s0"),
+            d.net.node("d0"),
+            "assured",
+            profile,
+            recorder=recorders["assured"],
+            start=True,
+        )
+    for i in range(1, 1 + n_cross):
+        rec = FlowRecorder(f"x{i}")
+        recorders[f"x{i}"] = rec
+        TcpSender(sim, dst=f"d{i}", sack=True).attach(
+            d.net.node(f"s{i}"), f"x{i}"
+        ).start()
+        TcpReceiver(sim, recorder=rec, sack=True).attach(d.net.node(f"d{i}"), f"x{i}")
+    sim.run(until=duration)
+    stats = d.bottleneck.queue.stats
+    return {
+        "events_processed": sim.events_processed,
+        "final_now": repr(sim.now),
+        "delivered_bytes": {
+            name: rec.delivered_bytes for name, rec in sorted(recorders.items())
+        },
+        "delivered_packets": {
+            name: rec.delivered_packets for name, rec in sorted(recorders.items())
+        },
+        "bottleneck": {
+            "enqueued": stats.enqueued,
+            "dropped": stats.dropped,
+            "dequeued": stats.dequeued,
+        },
+    }
+
+
+#: The (seed, protocol) grid fingerprinted by the golden tests.
+TRACE_PROBE_GRID = (
+    ("qtpaf", 0),
+    ("qtpaf", 1),
+    ("tfrc", 0),
+    ("tcp", 0),
+)
+
+
+def capture_goldens() -> Dict[str, object]:
+    """Run every trace probe and return the full golden fingerprint set."""
+    return {
+        "engine": {
+            str(seed): engine_trace_probe(seed=seed) for seed in (0, 1, 2)
+        },
+        "network": {
+            f"{protocol}:{seed}": network_trace_probe(seed=seed, protocol=protocol)
+            for protocol, seed in TRACE_PROBE_GRID
+        },
+    }

@@ -1,4 +1,4 @@
-"""Command-line front end for the sweep runner.
+"""Command-line front end for the sweep runner and perf benchmarks.
 
 Usage::
 
@@ -7,12 +7,19 @@ Usage::
     python -m repro.harness run af_assurance \
         --sweep protocol=tcp,gtfrc --sweep target_bps=2e6,6e6 \
         --set duration=20 --seeds 0,1 --workers 4
+    python -m repro.harness bench
+    python -m repro.harness bench --check
 
 ``run`` executes the scenario over its sweep grid (the registered
 default when no ``--sweep`` is given), memoizing results under
 ``--cache-dir`` (default ``.sweep-cache/``; ``--no-cache`` disables),
 and prints one table row per run: the swept parameters followed by the
 scalar fields of the scenario's result record.
+
+``bench`` runs the pinned perf suite (:mod:`repro.harness.bench`) and
+writes ``BENCH_core.json`` (preserving the frozen pre-optimization
+baseline section).  ``bench --check`` instead compares a fresh run
+against the committed numbers and exits non-zero on a >20% slowdown.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     parser.print_help()
     return 2
 
@@ -91,6 +100,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    bench = sub.add_parser(
+        "bench", help="run the pinned perf suite; write/check BENCH_core.json"
+    )
+    bench.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="benchmark record file (default: BENCH_core.json in the cwd)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against the committed record; "
+        "exit 1 on a >20%% slowdown (writes nothing)",
+    )
+    bench.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="freeze this run as the new baseline section "
+        "(normally the baseline is preserved across runs)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repetitions per benchmark (default: per-benchmark setting)",
     )
     return parser
 
@@ -149,6 +187,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"\n{len(records)} runs ({fresh} computed, {len(records) - fresh} cached) "
         f"in {wall:.2f}s wall"
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import bench as bench_mod
+
+    path = args.output if args.output is not None else Path(bench_mod.BENCH_FILE)
+    print(f"running pinned perf suite ({len(bench_mod.BENCHMARKS)} benchmarks)...")
+    fresh = bench_mod.run_suite(repeats=args.repeats)
+    committed = bench_mod.load_record(path)
+    baseline = (
+        ((committed or {}).get("baseline") or {}).get("metrics")
+        if not args.rebaseline
+        else fresh
+    )
+    rows = []
+    for spec in bench_mod.BENCHMARKS:
+        metrics = fresh[spec.name]
+        base_rate = (baseline or {}).get(spec.name, {}).get("rate")
+        rows.append(
+            [
+                spec.name,
+                spec.unit,
+                f"{metrics['rate']:,.0f}",
+                f"{metrics['seconds']:.3f}",
+                f"{metrics['rate'] / base_rate:.2f}x" if base_rate else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "unit", "rate", "best (s)", "vs baseline"],
+            rows,
+            title="perf suite",
+        )
+    )
+    if args.check:
+        if committed is None:
+            print(f"error: no committed record at {path} to check against",
+                  file=sys.stderr)
+            return 2
+        failures = bench_mod.check_regression(committed, fresh)
+        if failures:
+            # transient host load can depress one sample; a genuine
+            # regression reproduces on an immediate re-measure
+            print("possible regression; re-measuring once...", flush=True)
+            failures = bench_mod.check_regression(
+                committed, bench_mod.run_suite(repeats=args.repeats)
+            )
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check passed (within {bench_mod.REGRESSION_TOLERANCE:.0%} "
+              f"of {path})")
+        return 0
+    bench_mod.write_record(path, fresh, baseline=baseline)
+    print(f"[saved to {path}]")
     return 0
 
 

@@ -7,10 +7,19 @@ monolithic ``repro.harness.scenarios`` (which remains as a re-export
 shim for backward compatibility).
 """
 
+from repro.harness.experiments.ablation import (  # noqa: F401
+    ABLATION_VARIANTS,
+    AblationResult,
+    gtfrc_ablation_scenario,
+)
 from repro.harness.experiments.af_assurance import (  # noqa: F401
     AF_PROTOCOLS,
     AfResult,
     af_dumbbell_scenario,
+)
+from repro.harness.experiments.convergence import (  # noqa: F401
+    ConvergenceResult,
+    convergence_scenario,
 )
 from repro.harness.experiments.estimation import (  # noqa: F401
     EstimationAccuracyResult,
@@ -23,6 +32,11 @@ from repro.harness.experiments.friendliness import (  # noqa: F401
 from repro.harness.experiments.lossy_path import (  # noqa: F401
     LossyPathResult,
     lossy_path_scenario,
+)
+from repro.harness.experiments.negotiation_matrix import (  # noqa: F401
+    NEGOTIATION_PAIRS,
+    NegotiationMatrixResult,
+    negotiation_scenario,
 )
 from repro.harness.experiments.receiver_load import (  # noqa: F401
     ReceiverLoadResult,

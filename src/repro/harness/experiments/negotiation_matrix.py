@@ -1,0 +1,108 @@
+"""T6 — versatility: one stack, many negotiated instances (paper §1).
+
+Each named ``pair`` is a canonical (initiator, responder) capability
+combination; the scenario runs the negotiation and reports which
+composed instance it produces.  Capability sets are built fresh per run
+from the pair name, keeping the registered parameter space pure JSON
+scalars (the sweep-cache/CLI contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.negotiation import CapabilitySet, NegotiationError, negotiate
+from repro.core.profile import CongestionControl, ReliabilityMode
+from repro.harness.registry import register
+
+
+def _capability_pairs() -> Dict[str, Tuple[CapabilitySet, CapabilitySet]]:
+    """The canonical capability pairs, rebuilt per call (sets are mutable)."""
+    return {
+        "default/default": (CapabilitySet(), CapabilitySet()),
+        "server/mobile": (CapabilitySet(), CapabilitySet(light_receiver=True)),
+        "qos streaming": (
+            CapabilitySet(
+                qos_target_bps=4e6,
+                reliability_modes=(ReliabilityMode.FULL,),
+                congestion_controls=(
+                    CongestionControl.GTFRC,
+                    CongestionControl.TFRC,
+                ),
+            ),
+            CapabilitySet(
+                congestion_controls=(
+                    CongestionControl.GTFRC,
+                    CongestionControl.TFRC,
+                ),
+                reliability_modes=(ReliabilityMode.FULL, ReliabilityMode.NONE),
+            ),
+        ),
+        "media/partial": (
+            CapabilitySet(
+                reliability_modes=(ReliabilityMode.PARTIAL_TIME, ReliabilityMode.NONE)
+            ),
+            CapabilitySet(),
+        ),
+        "mobile+qos": (
+            CapabilitySet(
+                qos_target_bps=2e6,
+                congestion_controls=(
+                    CongestionControl.GTFRC,
+                    CongestionControl.TFRC,
+                ),
+            ),
+            CapabilitySet(
+                light_receiver=True,
+                congestion_controls=(
+                    CongestionControl.GTFRC,
+                    CongestionControl.TFRC,
+                ),
+            ),
+        ),
+    }
+
+
+#: Stable pair names, in the paper-table order.
+NEGOTIATION_PAIRS = tuple(_capability_pairs())
+
+
+@dataclass
+class NegotiationMatrixResult:
+    """Instance produced by one capability pair (or the failure text)."""
+
+    pair: str
+    instance: str
+    congestion_control: str
+    reliability: str
+    estimation: str
+
+
+@register(
+    "negotiation",
+    grid={"pair": NEGOTIATION_PAIRS},
+)
+def negotiation_scenario(pair: str) -> NegotiationMatrixResult:
+    """Negotiate one named capability pair and report the instance."""
+    pairs = _capability_pairs()
+    if pair not in pairs:
+        raise ValueError(f"unknown pair {pair!r}; known: {sorted(pairs)}")
+    initiator, responder = pairs[pair]
+    try:
+        profile = negotiate(initiator, responder)
+    except NegotiationError as exc:  # pragma: no cover - none expected
+        return NegotiationMatrixResult(
+            pair=pair,
+            instance="FAILED",
+            congestion_control=str(exc),
+            reliability="",
+            estimation="",
+        )
+    return NegotiationMatrixResult(
+        pair=pair,
+        instance=profile.name,
+        congestion_control=profile.congestion_control.value,
+        reliability=profile.reliability.value,
+        estimation=profile.loss_estimation.value,
+    )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.instances import (
+    QTPAF,
     QTPLIGHT,
     QTPLIGHT_RELIABLE,
     TFRC_MEDIA,
@@ -100,7 +101,10 @@ def receiver_load_scenario(
 
 @register(
     "receiver_load",
-    grid={"profile": tuple(RECEIVER_PROFILES), "loss_rate": (0.0, 0.02, 0.08)},
+    grid={
+        "profile": tuple(RECEIVER_PROFILES) + ("qtpaf",),
+        "loss_rate": (0.0, 0.02, 0.08),
+    },
     description="Per-packet receiver cost by composition name (paper §3).",
 )
 def receiver_load_by_name(
@@ -110,14 +114,25 @@ def receiver_load_by_name(
     duration: float = 40.0,
     warmup: float = 10.0,
     seed: int = 0,
+    qos_target_bps: float = 1e6,
 ) -> ReceiverLoadResult:
-    """Sweepable adapter: resolve ``profile`` by name and run the scenario."""
-    if profile not in RECEIVER_PROFILES:
+    """Sweepable adapter: resolve ``profile`` by name and run the scenario.
+
+    ``"qtpaf"`` composes the full QoS-aware reliable instance bound to
+    ``qos_target_bps`` (the factory takes the guarantee, so it cannot
+    live in the static name → profile table).
+    """
+    if profile == "qtpaf":
+        resolved = QTPAF(qos_target_bps)
+    elif profile in RECEIVER_PROFILES:
+        resolved = RECEIVER_PROFILES[profile]
+    else:
         raise ValueError(
-            f"unknown profile {profile!r}; known: {sorted(RECEIVER_PROFILES)}"
+            f"unknown profile {profile!r}; known: "
+            f"{sorted([*RECEIVER_PROFILES, 'qtpaf'])}"
         )
     return receiver_load_scenario(
-        RECEIVER_PROFILES[profile],
+        resolved,
         loss_rate=loss_rate,
         rate_bps=rate_bps,
         duration=duration,

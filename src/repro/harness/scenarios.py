@@ -9,11 +9,20 @@ keeps the historical flat namespace alive for existing imports.
 
 from __future__ import annotations
 
+from repro.harness.experiments.ablation import (  # noqa: F401
+    ABLATION_VARIANTS,
+    AblationResult,
+    gtfrc_ablation_scenario,
+)
 from repro.harness.experiments.af_assurance import (  # noqa: F401
     AF_PROTOCOLS,
     AfResult,
     _assured_profile,
     af_dumbbell_scenario,
+)
+from repro.harness.experiments.convergence import (  # noqa: F401
+    ConvergenceResult,
+    convergence_scenario,
 )
 from repro.harness.experiments.estimation import (  # noqa: F401
     EstimationAccuracyResult,
@@ -27,6 +36,11 @@ from repro.harness.experiments.friendliness import (  # noqa: F401
 from repro.harness.experiments.lossy_path import (  # noqa: F401
     LossyPathResult,
     lossy_path_scenario,
+)
+from repro.harness.experiments.negotiation_matrix import (  # noqa: F401
+    NEGOTIATION_PAIRS,
+    NegotiationMatrixResult,
+    negotiation_scenario,
 )
 from repro.harness.experiments.receiver_load import (  # noqa: F401
     ReceiverLoadResult,
@@ -46,19 +60,27 @@ from repro.harness.experiments.smoothness import (  # noqa: F401
 )
 
 __all__ = [
+    "ABLATION_VARIANTS",
     "AF_PROTOCOLS",
+    "AblationResult",
     "AfResult",
+    "ConvergenceResult",
     "EstimationAccuracyResult",
     "FriendlinessResult",
     "LossyPathResult",
+    "NEGOTIATION_PAIRS",
+    "NegotiationMatrixResult",
     "ReceiverLoadResult",
     "ReliabilityResult",
     "SelfishResult",
     "SmoothnessResult",
     "af_dumbbell_scenario",
+    "convergence_scenario",
     "estimation_accuracy_scenario",
     "friendliness_scenario",
+    "gtfrc_ablation_scenario",
     "lossy_path_scenario",
+    "negotiation_scenario",
     "receiver_load_scenario",
     "reliability_scenario",
     "selfish_receiver_scenario",

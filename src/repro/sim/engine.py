@@ -1,6 +1,6 @@
 """Discrete-event simulation engine.
 
-The engine is a classic calendar of ``(time, tie-break, callback)``
+The engine is a classic calendar of ``(time, tie-break, event)``
 entries kept in a binary heap.  It is deliberately small and
 deterministic:
 
@@ -15,13 +15,43 @@ Typical use::
     sim = Simulator(seed=1)
     sim.schedule(0.5, lambda: print("hello at", sim.now))
     sim.run(until=10.0)
+
+Fast-path invariants (PR 2 perf overhaul — future PRs must not break
+these; ``benchmarks/test_p1_core_speed.py`` and the golden tests in
+``tests/test_determinism_golden.py`` pin both the speed and the exact
+event traces):
+
+* **Tuple-backed heap.** ``Simulator._heap`` holds plain
+  ``(time, seq, Event)`` tuples, never bare ``Event`` objects: heap
+  sift comparisons then run entirely on C-level float/int tuple
+  compares instead of calling ``Event.__lt__`` (which dominated the
+  seed profile at ~1.3 M calls per 10 s of simulated T1).  ``seq`` is
+  unique per simulator, so the ``Event`` element is never compared.
+* **Ordering contract.** The pushed key is exactly ``(time, seq)``
+  with ``seq`` a monotonically increasing per-simulator counter —
+  identical to the seed engine's ``Event.__lt__``; event firing order
+  (and therefore every downstream random draw) is bit-identical.
+* **O(1) schedule fast path.** :meth:`Simulator.schedule` pushes
+  directly (no ``schedule_at`` indirection, no absolute-time
+  re-validation — ``delay >= 0`` already implies ``time >= now``).
+* **Hoisted run loop.** :meth:`Simulator.run` binds the heap, heappop
+  and mutable counters to locals and specializes the common
+  ``(until, no max_events)`` case; ``self.now``/``self._live`` are
+  written back on every event (callbacks read them) but never re-read
+  through attribute lookups inside the loop.
+* **Lazy deletion.** Cancelled events stay in the heap as tombstones
+  (``Event.cancelled``) and are discarded at pop time; the ``pending``
+  property is an O(1) counter maintained on schedule/cancel/pop.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(Exception):
@@ -33,6 +63,8 @@ class Event:
 
     Instances are returned by :meth:`Simulator.schedule`; keep the handle
     if the event may have to be cancelled (timers, retransmissions).
+    The heap itself stores ``(time, seq, event)`` tuples (see the module
+    docstring), so events are never compared during heap sifts.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_popped")
@@ -76,7 +108,7 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.seed = seed
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0
         self._rngs: Dict[str, random.Random] = {}
@@ -90,7 +122,14 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, args)
+        ev._sim = self
+        _heappush(self._heap, (time, seq, ev))
+        self._live += 1
+        return ev
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
@@ -98,10 +137,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} (now t={self.now!r})"
             )
-        ev = Event(time, self._seq, fn, args)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, args)
         ev._sim = self
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        _heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
 
@@ -146,22 +186,57 @@ class Simulator:
         """
         processed = 0
         self._running = True
+        heap = self._heap
+        pop = _heappop
         try:
-            while self._heap:
-                if max_events is not None and processed >= max_events:
-                    break
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(self._heap)
-                ev._popped = True
-                self._live -= 1
-                self.now = ev.time
-                ev.fn(*ev.args)
-                processed += 1
+            if max_events is None:
+                if until is None:
+                    # drain-everything fast path: pop unconditionally
+                    while heap:
+                        time, _, ev = pop(heap)
+                        if ev.cancelled:
+                            continue
+                        ev._popped = True
+                        self._live -= 1
+                        self.now = time
+                        ev.fn(*ev.args)
+                        processed += 1
+                else:
+                    # horizon fast path: peek, purge tombstones, stop at
+                    # the first live event strictly past ``until``
+                    while heap:
+                        head = heap[0]
+                        ev = head[2]
+                        if ev.cancelled:
+                            pop(heap)
+                            continue
+                        time = head[0]
+                        if time > until:
+                            break
+                        pop(heap)
+                        ev._popped = True
+                        self._live -= 1
+                        self.now = time
+                        ev.fn(*ev.args)
+                        processed += 1
+            else:
+                while heap:
+                    if processed >= max_events:
+                        break
+                    head = heap[0]
+                    ev = head[2]
+                    if ev.cancelled:
+                        pop(heap)
+                        continue
+                    time = head[0]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                    ev._popped = True
+                    self._live -= 1
+                    self.now = time
+                    ev.fn(*ev.args)
+                    processed += 1
         finally:
             self._running = False
         if until is not None and self.now < until:
@@ -171,13 +246,14 @@ class Simulator:
 
     def step(self) -> bool:
         """Process a single event.  Returns False when the calendar is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, ev = _heappop(heap)
             if ev.cancelled:
                 continue
             ev._popped = True
             self._live -= 1
-            self.now = ev.time
+            self.now = time
             ev.fn(*ev.args)
             self._events_processed += 1
             return True

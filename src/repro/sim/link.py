@@ -101,10 +101,17 @@ class Link:
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
-        """Offer a packet to the link.  Returns False if queue-dropped."""
+        """Offer a packet to the link.  Returns False if queue-dropped.
+
+        Hot path: one call per packet per hop.  ``sim.now`` is read
+        once (marking and enqueueing happen at the same instant) and no
+        packet copies are made — the same object rides the link end to
+        end.
+        """
+        now = self.sim.now
         if self.marker is not None:
-            self.marker.mark(packet, self.sim.now)
-        if not self.queue.enqueue(packet, self.sim.now):
+            self.marker.mark(packet, now)
+        if not self.queue.enqueue(packet, now):
             if self.on_drop is not None:
                 self.on_drop(packet)
             return False
@@ -113,24 +120,26 @@ class Link:
         return True
 
     def _start_transmission(self) -> None:
-        packet = self.queue.dequeue(self.sim.now)
+        sim = self.sim
+        packet = self.queue.dequeue(sim.now)
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        tx_time = packet.bits / self.rate_bps
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        # packet.size * 8 == packet.bits, without the property call
+        sim.schedule(packet.size * 8 / self.rate_bps, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += packet.size
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += packet.size
         extra = 0.0
         lost = False
         if self.channel is not None:
             outcome = self.channel.transit(packet, self.sim.now)
             if outcome is None:
                 lost = True
-                self.stats.channel_losses += 1
+                stats.channel_losses += 1
             else:
                 extra = outcome
         if not lost:

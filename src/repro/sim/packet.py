@@ -40,13 +40,17 @@ class PacketKind(enum.Enum):
     CONTROL = 3
 
 
+#: Module-level uid source.  ``_next_uid`` is the counter's bound
+#: ``__next__`` — called directly as the dataclass default factory, it
+#: skips the lambda frame the seed code paid on every packet.
 _uid_counter = itertools.count(1)
+_next_uid = _uid_counter.__next__
 
 
 # ----------------------------------------------------------------------
 # protocol headers
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class TfrcDataHeader:
     """TFRC data packet header (RFC 3448 §3.1).
 
@@ -69,7 +73,7 @@ class TfrcDataHeader:
     forward_ack: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TfrcFeedbackHeader:
     """Standard TFRC receiver report (RFC 3448 §3.2).
 
@@ -90,7 +94,7 @@ class TfrcFeedbackHeader:
     last_seq: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SackFeedbackHeader:
     """SACK-bearing receiver report (RFC 2018 block rules).
 
@@ -114,7 +118,7 @@ class SackFeedbackHeader:
     x_recv: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegmentHeader:
     """TCP segment header (data and/or ack).
 
@@ -132,7 +136,7 @@ class TcpSegmentHeader:
     timestamp_echo: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class NegotiationHeader:
     """Versatile-transport capability negotiation message (§1 of the paper).
 
@@ -144,7 +148,7 @@ class NegotiationHeader:
     payload: dict
 
 
-@dataclass
+@dataclass(slots=True)
 class AppDataHeader:
     """Opaque application payload rider for reliability/delivery tests.
 
@@ -164,7 +168,7 @@ class AppDataHeader:
 # ----------------------------------------------------------------------
 # packet
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated packet.
 
@@ -190,7 +194,7 @@ class Packet:
     color: Color = Color.RED
     created_at: float = 0.0
     app: Optional[AppDataHeader] = None
-    uid: int = field(default_factory=lambda: next(_uid_counter))
+    uid: int = field(default_factory=_next_uid)
     hops: int = 0
 
     def reply_to(self) -> Tuple[str, str]:
@@ -198,8 +202,14 @@ class Packet:
         return self.dst, self.src
 
     def copy(self, **changes) -> "Packet":
-        """Shallow copy with a fresh uid and optional field overrides."""
-        changes.setdefault("uid", next(_uid_counter))
+        """Shallow copy with a fresh uid and optional field overrides.
+
+        Not used on the forwarding fast path: links, queues and nodes
+        pass the *same* ``Packet`` object end to end (one allocation per
+        transmission), so copies are reserved for genuine duplication
+        (retransmission buffers, tests).
+        """
+        changes.setdefault("uid", _next_uid())
         return replace(self, **changes)
 
     @property

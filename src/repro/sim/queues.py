@@ -78,16 +78,20 @@ class DropTailQueue:
         self._bytes = 0
         self.stats = QueueStats()
 
-    def _fits(self, packet: Packet) -> bool:
-        if self.capacity_packets is not None and len(self._items) >= self.capacity_packets:
-            return False
-        if self.capacity_bytes is not None and self._bytes + packet.size > self.capacity_bytes:
-            return False
-        return True
-
     def enqueue(self, packet: Packet, now: float) -> bool:
-        """Accept or tail-drop ``packet``."""
-        if not self._fits(packet):
+        """Accept or tail-drop ``packet``.
+
+        The admission test is inlined (no helper call) — this runs
+        once per packet per access link, so an extra call frame showed
+        up in the T1 profile.
+        """
+        if (
+            self.capacity_packets is not None
+            and len(self._items) >= self.capacity_packets
+        ) or (
+            self.capacity_bytes is not None
+            and self._bytes + packet.size > self.capacity_bytes
+        ):
             self.stats.record_drop(packet)
             return False
         self._items.append(packet)
@@ -167,46 +171,50 @@ class RedQueue:
         self._idle_since: Optional[float] = 0.0
         self.stats = QueueStats()
 
-    # -- RED average -----------------------------------------------------
-    def _update_avg(self, now: float) -> None:
+    # -- queue interface ---------------------------------------------------
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """RED admission: early-drop probabilistically, tail-drop at capacity.
+
+        The average update, drop curve and count-corrected coin flip
+        are the ``_update_avg``/``_drop_probability``/``_early_drop``
+        helpers inlined (identical arithmetic and RNG draw order): this
+        method runs once per bottleneck arrival, where three extra call
+        frames per packet are measurable.
+        """
         q = len(self._items)
+        weight = self.weight
         if q == 0 and self._idle_since is not None:
             # decay over the idle period
             m = max(0.0, (now - self._idle_since) / self.mean_pkt_time)
-            self.avg *= (1.0 - self.weight) ** m
+            self.avg *= (1.0 - weight) ** m
             self._idle_since = now
         else:
-            self.avg += self.weight * (q - self.avg)
-
-    def _drop_probability(self) -> float:
-        if self.avg < self.min_th:
-            return 0.0
-        if self.avg >= self.max_th:
-            return 1.0
-        return self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
-
-    def _early_drop(self, p_b: float) -> bool:
-        if p_b <= 0.0:
+            self.avg += weight * (q - self.avg)
+        avg = self.avg
+        if avg < self.min_th:
+            p_b = 0.0
+        elif avg >= self.max_th:
+            p_b = 1.0
+        else:
+            p_b = self.max_p * (avg - self.min_th) / (self.max_th - self.min_th)
+        drop = True
+        if q >= self.capacity_packets:
+            pass  # tail drop; the RED count state is not touched
+        elif p_b <= 0.0:
             self._count = -1
-            return False
-        if p_b >= 1.0:
+            drop = False
+        elif p_b >= 1.0:
             self._count = 0
-            return True
-        self._count += 1
-        denom = 1.0 - self._count * p_b
-        p_a = p_b / denom if denom > 0 else 1.0
-        if self._rng.random() < p_a:
-            self._count = 0
-            return True
-        return False
-
-    # -- queue interface ---------------------------------------------------
-    def enqueue(self, packet: Packet, now: float) -> bool:
-        """RED admission: early-drop probabilistically, tail-drop at capacity."""
-        self._update_avg(now)
-        if len(self._items) >= self.capacity_packets or self._early_drop(
-            self._drop_probability()
-        ):
+        else:
+            count = self._count + 1
+            denom = 1.0 - count * p_b
+            p_a = p_b / denom if denom > 0 else 1.0
+            if self._rng.random() < p_a:
+                count = 0
+            else:
+                drop = False
+            self._count = count
+        if drop:
             self.stats.record_drop(packet)
             return False
         self._items.append(packet)
@@ -279,65 +287,72 @@ class RioQueue:
         self._idle_since: Optional[float] = 0.0
         self.stats = QueueStats()
 
-    @staticmethod
-    def _is_in_profile(packet: Packet) -> bool:
-        return packet.color is Color.GREEN
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Admit with the precedence-appropriate RED curve.
 
-    def _update_avgs(self, now: float, arriving_in: bool) -> None:
+        Average update, curve and count-corrected coin flip are
+        inlined (identical arithmetic and RNG draw order to the
+        reference helper formulation): this method runs once per
+        bottleneck arrival in every AF experiment, where the helper
+        call frames were a measurable share of the T1 profile.
+        """
+        in_profile = packet.color is Color.GREEN
         q_total = len(self._items)
+        weight = self.weight
+        # -- averages: idle decay or per-precedence EWMA
         if q_total == 0 and self._idle_since is not None:
             m = max(0.0, (now - self._idle_since) / self.mean_pkt_time)
-            decay = (1.0 - self.weight) ** m
+            decay = (1.0 - weight) ** m
             self.avg_in *= decay
             self.avg_total *= decay
             self._idle_since = now
         else:
-            self.avg_total += self.weight * (q_total - self.avg_total)
-            if arriving_in:
-                self.avg_in += self.weight * (self._in_count_q - self.avg_in)
-
-    @staticmethod
-    def _curve(avg: float, min_th: float, max_th: float, max_p: float) -> float:
-        if avg < min_th:
-            return 0.0
-        if avg >= max_th:
-            return 1.0
-        return max_p * (avg - min_th) / (max_th - min_th)
-
-    def _early_drop(self, p_b: float, in_profile: bool) -> bool:
-        count = self._count_in if in_profile else self._count_out
-        if p_b <= 0.0:
-            count = -1
-            drop = False
-        elif p_b >= 1.0:
-            count = 0
-            drop = True
-        else:
-            count += 1
-            denom = 1.0 - count * p_b
-            p_a = p_b / denom if denom > 0 else 1.0
-            drop = self._rng.random() < p_a
-            if drop:
-                count = 0
+            self.avg_total += weight * (q_total - self.avg_total)
+            if in_profile:
+                self.avg_in += weight * (self._in_count_q - self.avg_in)
+        # -- drop curve for this packet's precedence
         if in_profile:
-            self._count_in = count
+            avg, min_th, max_th, max_p = (
+                self.avg_in, self.in_min_th, self.in_max_th, self.in_max_p
+            )
         else:
-            self._count_out = count
-        return drop
-
-    def enqueue(self, packet: Packet, now: float) -> bool:
-        """Admit with the precedence-appropriate RED curve."""
-        in_profile = self._is_in_profile(packet)
-        self._update_avgs(now, in_profile)
-        if in_profile:
-            p_b = self._curve(self.avg_in, self.in_min_th, self.in_max_th, self.in_max_p)
-        else:
-            p_b = self._curve(
+            avg, min_th, max_th, max_p = (
                 self.avg_total, self.out_min_th, self.out_max_th, self.out_max_p
             )
-        if len(self._items) >= self.capacity_packets or self._early_drop(
-            p_b, in_profile
-        ):
+        if avg < min_th:
+            p_b = 0.0
+        elif avg >= max_th:
+            p_b = 1.0
+        else:
+            p_b = max_p * (avg - min_th) / (max_th - min_th)
+        # -- admission (tail drop leaves the RED count state untouched)
+        drop = True
+        if q_total >= self.capacity_packets:
+            pass
+        elif p_b <= 0.0:
+            drop = False
+            if in_profile:
+                self._count_in = -1
+            else:
+                self._count_out = -1
+        elif p_b >= 1.0:
+            if in_profile:
+                self._count_in = 0
+            else:
+                self._count_out = 0
+        else:
+            count = (self._count_in if in_profile else self._count_out) + 1
+            denom = 1.0 - count * p_b
+            p_a = p_b / denom if denom > 0 else 1.0
+            if self._rng.random() < p_a:
+                count = 0
+            else:
+                drop = False
+            if in_profile:
+                self._count_in = count
+            else:
+                self._count_out = count
+        if drop:
             self.stats.record_drop(packet)
             return False
         self._items.append(packet)
@@ -349,14 +364,15 @@ class RioQueue:
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        if not self._items:
+        items = self._items
+        if not items:
             return None
-        packet = self._items.popleft()
+        packet = items.popleft()
         self._bytes -= packet.size
-        if self._is_in_profile(packet):
+        if packet.color is Color.GREEN:
             self._in_count_q -= 1
         self.stats.dequeued += 1
-        if not self._items:
+        if not items:
             self._idle_since = now
         return packet
 

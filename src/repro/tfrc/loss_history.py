@@ -22,7 +22,7 @@ work against the QTPlight receiver's SACK bookkeeping.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.metrics.cost import CostMeter, NullMeter
 
@@ -51,6 +51,16 @@ class LossIntervalHistory:
             raise ValueError("weights must be positive")
         self.weights = tuple(float(w) for w in weights)
         self.n = len(self.weights)
+        # prefix sums of the weights, left-to-right (the same addition
+        # order as ``sum(weights[:k])``): _wsum[k] is the total weight
+        # of the k most recent intervals, so average_interval() never
+        # re-sums the weight vector per call
+        wsum = [0.0]
+        acc = 0.0
+        for w in self.weights:
+            acc += w
+            wsum.append(acc)
+        self._wsum = tuple(wsum)
         self._intervals: Deque[float] = deque(maxlen=self.n)  # most recent first
         self.open_interval = 0.0
         self.meter = meter or NullMeter()
@@ -92,25 +102,44 @@ class LossIntervalHistory:
 
     # ------------------------------------------------------------------
     def average_interval(self) -> float:
-        """Weighted average loss interval per §5.4 (0.0 with no history)."""
-        if not self._intervals:
+        """Weighted average loss interval per §5.4 (0.0 with no history).
+
+        Single pass over the (≤ n) closed intervals, using the
+        precomputed weight prefix sums; the arithmetic (product order,
+        addition order, clamping) is bit-identical to the reference
+        two-``sum()`` formulation.
+        """
+        intervals = self._intervals
+        k = len(intervals)
+        if not k:
             return 0.0
-        closed = list(self._intervals)
         w = self.weights
-        self.meter.charge(3 * len(closed) + 4)
+        self.meter.charge(3 * k + 4)
         # average over closed intervals only; the weighted mean can land
         # 1 ULP outside [min, max] (e.g. three equal 1.9 intervals), so
         # clamp it back — same fix as percentile() in metrics.stats
-        w_used = w[: len(closed)]
-        i_tot1 = sum(wi * ii for wi, ii in zip(w_used, closed))
-        w_tot1 = sum(w_used)
-        avg1 = min(max(i_tot1 / w_tot1, min(closed)), max(closed))
+        i_tot1 = 0.0
+        mn1 = mx1 = intervals[0]
+        for wi, ii in zip(w, intervals):
+            i_tot1 += wi * ii
+            if ii < mn1:
+                mn1 = ii
+            elif ii > mx1:
+                mx1 = ii
+        avg1 = min(max(i_tot1 / self._wsum[k], mn1), mx1)
         # average counting the open interval as most recent
-        shifted = [self.open_interval] + closed[: self.n - 1]
-        w_shift = w[: len(shifted)]
-        i_tot0 = sum(wi * ii for wi, ii in zip(w_shift, shifted))
-        w_tot0 = sum(w_shift)
-        avg0 = min(max(i_tot0 / w_tot0, min(shifted)), max(shifted))
+        open_ = self.open_interval
+        m = k if k < self.n - 1 else self.n - 1  # closed intervals included
+        i_tot0 = w[0] * open_
+        mn0 = mx0 = open_
+        for i in range(m):
+            ii = intervals[i]
+            i_tot0 += w[i + 1] * ii
+            if ii < mn0:
+                mn0 = ii
+            elif ii > mx0:
+                mx0 = ii
+        avg0 = min(max(i_tot0 / self._wsum[m + 1], mn0), mx0)
         return max(avg0, avg1)
 
     def loss_event_rate(self) -> float:
@@ -166,7 +195,15 @@ class LossEventEstimator:
         self.first_interval_fn = first_interval_fn
         self.max_gap = max_gap
         self.max_seq = -1
-        self._pending: Dict[int, float] = {}  # presumed-lost seq -> reveal time
+        # presumed-lost sequence ranges as ``[start, end, reveal_time]``
+        # half-open intervals, start-sorted and disjoint.  A gap of G
+        # packets is one O(1) interval append (the seed code filled a
+        # dict with G per-seq entries), and ripeness confirmation walks
+        # the already-ordered list instead of sorting the pending set on
+        # every arrival.  ``_pending_count`` tracks the total number of
+        # presumed-lost sequence numbers across all intervals.
+        self._pending: List[List[float]] = []
+        self._pending_count = 0
         self.packets_received = 0
         self.duplicates = 0
         self.reordered_recoveries = 0
@@ -184,48 +221,99 @@ class LossEventEstimator:
         """
         self.meter.charge(5)
         self.packets_received += 1
-        if seq > self.max_seq:
-            gap = seq - self.max_seq - 1
+        max_seq = self.max_seq
+        if seq > max_seq:
+            gap = seq - max_seq - 1
             if gap > self.max_gap:
                 # treat as a restart: drop gap state rather than recording
                 # thousands of losses from a pathological jump
                 self._pending.clear()
+                self._pending_count = 0
             elif gap > 0:
-                for missing in range(self.max_seq + 1, seq):
-                    self._pending[missing] = now
+                self._pending.append([max_seq + 1, seq, now])
+                self._pending_count += gap
                 self.meter.charge(2 * gap)
             self.max_seq = seq
             if self.history.events:
                 self.history.extend_open(1.0)
-        elif seq in self._pending:
-            del self._pending[seq]
+        else:
+            # seq below the front: either a reordered recovery of a
+            # presumed loss or a duplicate.  The interval list is
+            # start-sorted, so the scan stops at the first interval
+            # past seq (it rarely holds more than a couple of entries).
+            hit = -1
+            pending = self._pending
+            for i, interval in enumerate(pending):
+                if interval[0] > seq:
+                    break
+                if seq < interval[1]:
+                    hit = i
+                    break
+            if hit < 0:
+                self.duplicates += 1
+                self.meter.charge(1)
+                return False
+            interval = pending[hit]
+            start, end = interval[0], interval[1]
+            if start == seq:
+                if seq + 1 == end:
+                    del pending[hit]
+                else:
+                    interval[0] = seq + 1
+            elif end == seq + 1:
+                interval[1] = seq
+            else:  # split the interval around the recovered seq
+                interval[1] = seq
+                pending.insert(hit + 1, [seq + 1, end, interval[2]])
+            self._pending_count -= 1
             self.reordered_recoveries += 1
             self.meter.charge(2)
-        else:
-            self.duplicates += 1
-            self.meter.charge(1)
-            return False
         self._account_memory()
         return self._confirm_losses(rtt)
 
     def _confirm_losses(self, rtt: float) -> bool:
-        """Promote presumed losses to confirmed ones (NDUPACK rule)."""
-        if not self._pending:
+        """Promote presumed losses to confirmed ones (NDUPACK rule).
+
+        Walks the start-sorted pending intervals from the front and
+        consumes the ripe prefix (every seq with ``seq + NDUPACK <=
+        max_seq``).  All seqs of one interval share a reveal time, so at
+        most the first seq of each interval can start a loss event
+        (after it fires, ``loss_time > loss_time + rtt`` is false for
+        any ``rtt >= 0``) — the per-seq work of the reference loop
+        collapses to O(1) per interval.
+        """
+        pending = self._pending
+        if not pending:
             return False
-        ripe = sorted(s for s in self._pending if self.max_seq >= s + NDUPACK)
-        if not ripe:
-            return False
+        threshold = self.max_seq - NDUPACK
         new_event = False
-        for seq in ripe:
-            loss_time = self._pending.pop(seq)
-            self.confirmed_losses += 1
-            self.meter.charge(4)
+        while pending:
+            interval = pending[0]
+            start = interval[0]
+            if start > threshold:
+                break
+            end, loss_time = interval[1], interval[2]
+            ripe_end = end if end <= threshold + 1 else threshold + 1
+            count = ripe_end - start
+            self.confirmed_losses += count
+            # charged per confirmed seq (not one batched charge): the
+            # meter's ops *and* activation counts model the per-packet
+            # work of the seed cost model.  Confirmed losses are rare
+            # relative to arrivals, so the loop costs nothing.
+            for _ in range(count):
+                self.meter.charge(4)
             if (
                 self._last_event_seq is None
                 or loss_time > self._last_event_time + rtt
             ):
                 new_event = True
-                self._start_event(seq, loss_time)
+                self._start_event(start, loss_time)
+            self._pending_count -= count
+            if ripe_end == end:
+                del pending[0]
+            else:
+                interval[0] = ripe_end
+                break  # the rest of this interval (and all later) unripe
         self._account_memory()
         return new_event
 
@@ -257,7 +345,11 @@ class LossEventEstimator:
         return self.history.events
 
     def _account_memory(self) -> None:
-        # intervals + pending-gap map + fixed bookkeeping
+        # loss-interval history + presumed-lost seqs + fixed bookkeeping.
+        # Charged per presumed-lost *sequence number* (the seed model's
+        # per-seq map), not per tracked interval: the meter models the
+        # RFC 3448 receiver's asymptotic state, which the paper's T3
+        # comparison depends on.
         self.meter.set_resident(
-            8 * len(self.history) + 16 * len(self._pending) + 64
+            8 * len(self.history) + 16 * self._pending_count + 64
         )

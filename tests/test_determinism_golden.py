@@ -1,0 +1,61 @@
+"""Determinism goldens: the engine reproduces the seed engine exactly.
+
+``benchmarks/goldens/core_goldens.json`` holds fingerprints captured
+from the *seed* engine (pre-PR 2): exact event-sequence digests for
+raw-engine churn and ``(events_processed, final sim.now, per-flow
+delivered bytes)`` for miniature network runs.  These tests prove that
+
+* identical ``(seed, scenario)`` still produces identical results after
+  the hot-path overhaul (tuple-backed heap, slotted packets, interval
+  loss tracking, prefix-sum recorders), and
+* two runs in one process are identical (no hidden global state).
+
+They run in tier-1: each probe is a few hundred milliseconds.  The full
+probe grid (more seeds/protocols) runs in the slow tier
+(``benchmarks/test_p1_core_speed.py``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.bench import engine_trace_probe, network_trace_probe
+
+GOLDENS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "goldens"
+    / "core_goldens.json"
+)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDENS_PATH.read_text())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_engine_trace_matches_seed_engine(goldens, seed):
+    assert engine_trace_probe(seed=seed) == goldens["engine"][str(seed)]
+
+
+def test_network_trace_matches_seed_engine(goldens):
+    # one representative protocol in tier-1; the full grid is slow-tier
+    assert network_trace_probe(seed=0, protocol="qtpaf") == (
+        goldens["network"]["qtpaf:0"]
+    )
+
+
+def test_engine_probe_is_repeatable():
+    assert engine_trace_probe(seed=5) == engine_trace_probe(seed=5)
+
+
+def test_engine_probe_varies_with_seed():
+    assert engine_trace_probe(seed=0) != engine_trace_probe(seed=1)
+
+
+def test_network_probe_is_repeatable():
+    a = network_trace_probe(seed=3, protocol="tfrc", duration=2.0)
+    b = network_trace_probe(seed=3, protocol="tfrc", duration=2.0)
+    assert a == b

@@ -114,7 +114,10 @@ class TestCancellation:
         events = []
 
         def naive():
-            return sum(1 for ev in sim._heap if not ev.cancelled and not ev._popped)
+            # heap entries are (time, seq, event) tuples (engine fast path)
+            return sum(
+                1 for _, _, ev in sim._heap if not ev.cancelled and not ev._popped
+            )
 
         for i in range(200):
             events.append(sim.schedule(rng.uniform(0, 10), lambda: None))

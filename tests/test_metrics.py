@@ -116,6 +116,71 @@ class TestFlowRecorder:
         with pytest.raises(ValueError):
             rec.series(0.0)
 
+    def test_series_rejects_degenerate_bins(self):
+        rec = FlowRecorder()
+        rec.record(1.0, pkt(size=100))
+        with pytest.raises(ValueError):
+            rec.series(-0.5)
+        with pytest.raises(ValueError):
+            rec.series(float("inf"))
+        with pytest.raises(ValueError):
+            rec.series(float("nan"))
+
+    def test_series_bin_edges_survive_reciprocal_multiply(self):
+        # series() buckets via one multiply by the precomputed
+        # 1/bin_width; events sitting exactly on representable bucket
+        # edges must land in the same bin as floor(t / bin_width).
+        # 0.2 is the adversarial width: 0.6 * (1/0.2) rounds to 3.0
+        # while 0.6 / 0.2 rounds below it.
+        rec = FlowRecorder()
+        for k in range(1, 8):
+            rec.record(k * 0.1, pkt(size=100))
+        series = rec.series(0.2, end=0.8)
+        assert sum(series) * 0.2 == pytest.approx(700.0)
+        for t, width in [(0.6, 0.2), (0.3, 0.1), (2.5, 0.5), (0.7, 0.07)]:
+            one = FlowRecorder()
+            one.record(t, pkt(size=100))
+            series = one.series(width, end=t + width)
+            assert sum(series) * width == pytest.approx(100.0)
+            assert series[int(t / width)] > 0.0
+
+    def test_series_bin_wider_than_trace(self):
+        rec = FlowRecorder()
+        rec.record(0.5, pkt(size=400))
+        assert rec.series(10.0) == [40.0]
+
+    def test_series_end_before_last_event_drops_tail(self):
+        rec = FlowRecorder()
+        rec.record(0.5, pkt(size=400))
+        rec.record(5.0, pkt(size=400))
+        assert rec.series(1.0, end=1.0) == [400.0]
+
+    def test_mean_rate_bisect_matches_scan(self):
+        # the prefix-sum fast path must equal the definitional scan for
+        # every (start, end] window, including edges on event times
+        rec = FlowRecorder()
+        times = [0.1, 0.5, 0.5, 1.0, 2.5, 2.5, 3.0]
+        for i, t in enumerate(times):
+            rec.record(t, pkt(size=100 * (i + 1)))
+        for start in [0.0, 0.1, 0.5, 0.9, 2.5, 3.0, 4.0]:
+            for end in [0.1, 0.5, 1.0, 2.5, 3.0, 5.0, None]:
+                got = rec.mean_rate(start, end)
+                e = end if end is not None else times[-1]
+                span = e - start
+                want = (
+                    sum(s for t, s in rec.events if start < t <= e) / span
+                    if span > 0
+                    else 0.0
+                )
+                assert got == want, (start, end)
+
+    def test_mean_rate_out_of_order_recording_falls_back(self):
+        rec = FlowRecorder()
+        rec.record(2.0, pkt(size=100))
+        rec.record(1.0, pkt(size=700))  # hand-built, unordered
+        assert rec.mean_rate(0.0, 2.0) == pytest.approx(800.0 / 2.0)
+        assert rec.mean_rate(1.5, 2.0) == pytest.approx(100.0 / 0.5)
+
     def test_counters(self):
         rec = FlowRecorder()
         rec.record(0.0, pkt())
