@@ -107,3 +107,7 @@ def test_p1_golden_trace_equality():
         assert live["network"][key] == fingerprint, (
             f"network trace {key} diverged from the seed engine"
         )
+    for key, fingerprint in golden.get("topo", {}).items():
+        assert live["topo"][key] == fingerprint, (
+            f"topo scenario trace {key} diverged from its pinned golden"
+        )

@@ -213,8 +213,9 @@ def write_record(
     path = Path(path)
     if baseline is None:
         existing = load_record(path)
-        if existing and "baseline" in existing:
-            baseline = existing["baseline"]["metrics"]
+        # a record written before any baseline existed stores
+        # "baseline": null — treat that the same as no record
+        baseline = ((existing or {}).get("baseline") or {}).get("metrics")
     record = {
         "schema": 1,
         "suite": [spec.name for spec in BENCHMARKS],
@@ -300,78 +301,98 @@ def network_trace_probe(
 
     A QTPAF/TFRC/TCP assured flow plus two TCP cross flows on a RIO
     bottleneck — every hot layer (engine, packets, links, RIO, TFRC
-    loss machinery, recorders) participates.  Returns exact integers
-    and ``repr``-precision floats: ``events_processed``, final
-    ``sim.now`` and per-flow delivered byte counts.
+    loss machinery, recorders) participates.  The scenario is the
+    shared :func:`repro.topo.presets.t1_dumbbell_spec` (the golden
+    values pin the spec compiler to the seed engine's construction
+    order).  Returns exact integers and ``repr``-precision floats:
+    ``events_processed``, final ``sim.now`` and per-flow delivered
+    byte counts.
     """
-    from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
-    from repro.metrics.recorder import FlowRecorder
-    from repro.qos.marking import ProfileMarker
-    from repro.qos.sla import ServiceLevelAgreement
-    from repro.sim.queues import RioQueue
-    from repro.sim.topology import dumbbell
-    from repro.tcp.receiver import TcpReceiver
-    from repro.tcp.sender import TcpSender
+    from repro.topo import build, t1_dumbbell_spec
 
-    n_cross = 2
     sim = Simulator(seed=seed)
-    sla = ServiceLevelAgreement(
-        flow_id="assured", committed_rate_bps=4e6, burst_bytes=30_000
-    )
-    markers = [ProfileMarker(sla.build_meter(), flow_id="assured")] + [None] * n_cross
-    d = dumbbell(
+    built = build(
         sim,
-        n_pairs=1 + n_cross,
-        bottleneck_rate=10e6,
-        bottleneck_delay=0.02,
-        bottleneck_queue_factory=lambda: RioQueue(
-            rng=sim.rng("rio"), mean_pkt_time=0.0008
+        t1_dumbbell_spec(
+            protocol,
+            4e6,
+            n_cross=2,
+            assured_access_delay=0.05,
+            cross_record=True,
         ),
-        access_delays=[0.05] + [0.002] * n_cross,
-        access_markers=markers,
     )
-    recorders = {"assured": FlowRecorder("assured")}
-    if protocol == "tcp":
-        snd = TcpSender(sim, dst="d0", sack=True)
-        rcv = TcpReceiver(sim, recorder=recorders["assured"], sack=True)
-        snd.attach(d.net.node("s0"), "assured")
-        rcv.attach(d.net.node("d0"), "assured")
-        snd.start()
-    else:
-        profile = QTPAF(4e6) if protocol == "qtpaf" else TFRC_MEDIA
-        build_transport_pair(
-            sim,
-            d.net.node("s0"),
-            d.net.node("d0"),
-            "assured",
-            profile,
-            recorder=recorders["assured"],
-            start=True,
-        )
-    for i in range(1, 1 + n_cross):
-        rec = FlowRecorder(f"x{i}")
-        recorders[f"x{i}"] = rec
-        TcpSender(sim, dst=f"d{i}", sack=True).attach(
-            d.net.node(f"s{i}"), f"x{i}"
-        ).start()
-        TcpReceiver(sim, recorder=rec, sack=True).attach(d.net.node(f"d{i}"), f"x{i}")
     sim.run(until=duration)
-    stats = d.bottleneck.queue.stats
-    return {
-        "events_processed": sim.events_processed,
-        "final_now": repr(sim.now),
-        "delivered_bytes": {
-            name: rec.delivered_bytes for name, rec in sorted(recorders.items())
-        },
-        "delivered_packets": {
-            name: rec.delivered_packets for name, rec in sorted(recorders.items())
-        },
-        "bottleneck": {
+    return _network_fingerprint(sim, built, [("left", "right")])
+
+
+def _network_fingerprint(sim, built, bottlenecks) -> Dict[str, object]:
+    """Exact fingerprint of a built scenario run: counters + repr floats.
+
+    With one bottleneck the stats appear under the historical
+    ``"bottleneck"`` key; with several, under ``"bottlenecks"`` keyed
+    ``"src->dst"``.
+    """
+    per_queue = {}
+    for src, dst in bottlenecks:
+        stats = built.queue(src, dst).stats
+        per_queue[f"{src}->{dst}"] = {
             "enqueued": stats.enqueued,
             "dropped": stats.dropped,
             "dequeued": stats.dequeued,
+        }
+    fingerprint: Dict[str, object] = {
+        "events_processed": sim.events_processed,
+        "final_now": repr(sim.now),
+        "delivered_bytes": {
+            name: rec.delivered_bytes
+            for name, rec in sorted(built.recorders.items())
+        },
+        "delivered_packets": {
+            name: rec.delivered_packets
+            for name, rec in sorted(built.recorders.items())
         },
     }
+    if len(per_queue) == 1:
+        fingerprint["bottleneck"] = next(iter(per_queue.values()))
+    else:
+        fingerprint["bottlenecks"] = per_queue
+    return fingerprint
+
+
+def topo_trace_probe(
+    scenario: str, seed: int = 0, duration: float = 4.0
+) -> Dict[str, object]:
+    """Fingerprint one of the PR 3 spec-built scenarios, miniaturized.
+
+    Small fixed parameterizations of the three new workloads
+    (``parking_lot``, ``reverse_path_chain``, ``hetero_sla``), each
+    distilled to the exact counters of :func:`_network_fingerprint` —
+    the goldens pin them so later PRs can refactor the specs and the
+    compiler safely.
+    """
+    from repro.topo import (
+        build,
+        hetero_sla_dumbbell_spec,
+        parking_lot_spec,
+        reverse_path_chain_spec,
+    )
+
+    sim = Simulator(seed=seed)
+    if scenario == "parking_lot":
+        spec = parking_lot_spec("qtpaf", 4e6, n_cross_a=2, n_cross_b=2,
+                                cross_record=True)
+        bottlenecks = [("r0", "r1"), ("r1", "r2")]
+    elif scenario == "reverse_path_chain":
+        spec = reverse_path_chain_spec("gtfrc", 4e6, n_hops=2, n_reverse=2)
+        bottlenecks = [("h0", "h1"), ("h2", "h1")]
+    elif scenario == "hetero_sla":
+        spec = hetero_sla_dumbbell_spec("gtfrc", (1e6, 2e6, 4e6), n_cross=1)
+        bottlenecks = [("left", "right")]
+    else:
+        raise ValueError(f"unknown topo probe scenario {scenario!r}")
+    built = build(sim, spec)
+    sim.run(until=duration)
+    return _network_fingerprint(sim, built, bottlenecks)
 
 
 #: The (seed, protocol) grid fingerprinted by the golden tests.
@@ -381,6 +402,9 @@ TRACE_PROBE_GRID = (
     ("tfrc", 0),
     ("tcp", 0),
 )
+
+#: The PR 3 spec-built scenarios fingerprinted by the golden tests.
+TOPO_PROBE_SCENARIOS = ("parking_lot", "reverse_path_chain", "hetero_sla")
 
 
 def capture_goldens() -> Dict[str, object]:
@@ -392,5 +416,8 @@ def capture_goldens() -> Dict[str, object]:
         "network": {
             f"{protocol}:{seed}": network_trace_probe(seed=seed, protocol=protocol)
             for protocol, seed in TRACE_PROBE_GRID
+        },
+        "topo": {
+            name: topo_trace_probe(name) for name in TOPO_PROBE_SCENARIOS
         },
     }

@@ -9,17 +9,22 @@ Usage::
         --set duration=20 --seeds 0,1 --workers 4
     python -m repro.harness bench
     python -m repro.harness bench --check
+    python -m repro.harness bench --update-current
 
 ``run`` executes the scenario over its sweep grid (the registered
 default when no ``--sweep`` is given), memoizing results under
-``--cache-dir`` (default ``.sweep-cache/``; ``--no-cache`` disables),
-and prints one table row per run: the swept parameters followed by the
-scalar fields of the scenario's result record.
+``--cache-dir`` (default ``.sweep-cache/``; ``--no-cache`` disables;
+``REPRO_CACHE=sqlite:<path>`` redirects the memo to one shareable
+sqlite file), and prints one table row per run: the swept parameters
+followed by the scalar fields of the scenario's result record.
 
 ``bench`` runs the pinned perf suite (:mod:`repro.harness.bench`) and
 writes ``BENCH_core.json`` (preserving the frozen pre-optimization
 baseline section).  ``bench --check`` instead compares a fresh run
-against the committed numbers and exits non-zero on a >20% slowdown.
+against the committed numbers and exits non-zero on a >20% slowdown;
+``bench --update-current`` refreshes only the ``current`` section —
+rates are machine-relative, so a new host refreshes locally before
+checking.
 """
 
 from __future__ import annotations
@@ -91,7 +96,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         type=Path,
         default=Path(".sweep-cache"),
-        help="result memo directory (default: ./.sweep-cache)",
+        help="result memo directory (default: ./.sweep-cache); "
+        "REPRO_CACHE=sqlite:<path> in the environment redirects the "
+        "memo to one shareable sqlite file instead (--no-cache still "
+        "disables everything)",
     )
     run.add_argument(
         "--no-cache",
@@ -102,7 +110,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
     bench = sub.add_parser(
-        "bench", help="run the pinned perf suite; write/check BENCH_core.json"
+        "bench",
+        help="run the pinned perf suite; write/check BENCH_core.json",
+        description="Run the pinned perf suite and write/check BENCH_core.json.",
+        epilog=(
+            "Caveat: the recorded rates are machine-relative. The committed "
+            "numbers were measured on one host; a different machine (e.g. a "
+            "CI runner) should refresh the `current` section locally with "
+            "--update-current before relying on --check, while the frozen "
+            "pre-optimization `baseline` section stays untouched so the "
+            "committed speedup ratios remain apples-to-apples."
+        ),
     )
     bench.add_argument(
         "--output",
@@ -122,6 +140,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="freeze this run as the new baseline section "
         "(normally the baseline is preserved across runs)",
+    )
+    bench.add_argument(
+        "--update-current",
+        action="store_true",
+        help="refresh only the `current` section of an existing record "
+        "(requires one; never touches the frozen baseline) — use on a "
+        "new machine before --check, since rates are machine-relative",
     )
     bench.add_argument(
         "--repeats",
@@ -194,9 +219,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import bench as bench_mod
 
     path = args.output if args.output is not None else Path(bench_mod.BENCH_FILE)
+    committed = bench_mod.load_record(path)
+    # fail argument/record problems before the (slow) measurement run
+    if args.update_current and args.rebaseline:
+        print("error: --update-current and --rebaseline are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    if args.update_current and args.check:
+        print("error: --update-current writes and --check is read-only; "
+              "run them as two invocations (update, then check)",
+              file=sys.stderr)
+        return 2
+    if args.rebaseline and args.check:
+        print("error: --rebaseline writes and --check is read-only; "
+              "run them as two invocations", file=sys.stderr)
+        return 2
+    if args.update_current and committed is None:
+        print(f"error: no committed record at {path} to update; run a plain "
+              "`bench` first", file=sys.stderr)
+        return 2
+    if args.check and committed is None:
+        print(f"error: no committed record at {path} to check against",
+              file=sys.stderr)
+        return 2
     print(f"running pinned perf suite ({len(bench_mod.BENCHMARKS)} benchmarks)...")
     fresh = bench_mod.run_suite(repeats=args.repeats)
-    committed = bench_mod.load_record(path)
     baseline = (
         ((committed or {}).get("baseline") or {}).get("metrics")
         if not args.rebaseline
@@ -223,10 +270,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     )
     if args.check:
-        if committed is None:
-            print(f"error: no committed record at {path} to check against",
-                  file=sys.stderr)
-            return 2
         failures = bench_mod.check_regression(committed, fresh)
         if failures:
             # transient host load can depress one sample; a genuine
@@ -244,7 +287,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"of {path})")
         return 0
     bench_mod.write_record(path, fresh, baseline=baseline)
-    print(f"[saved to {path}]")
+    if args.update_current:
+        print(f"[current section refreshed in {path}; baseline untouched]")
+    else:
+        print(f"[saved to {path}]")
     return 0
 
 

@@ -29,6 +29,11 @@ from repro.harness.experiments.friendliness import (  # noqa: F401
     FriendlinessResult,
     friendliness_scenario,
 )
+from repro.harness.experiments.hetero_sla import (  # noqa: F401
+    HETERO_SLA_PROTOCOLS,
+    HeteroSlaResult,
+    hetero_sla_scenario,
+)
 from repro.harness.experiments.lossy_path import (  # noqa: F401
     LossyPathResult,
     lossy_path_scenario,
@@ -38,9 +43,19 @@ from repro.harness.experiments.negotiation_matrix import (  # noqa: F401
     NegotiationMatrixResult,
     negotiation_scenario,
 )
+from repro.harness.experiments.parking_lot import (  # noqa: F401
+    PARKING_LOT_PROTOCOLS,
+    ParkingLotResult,
+    parking_lot_scenario,
+)
 from repro.harness.experiments.receiver_load import (  # noqa: F401
     ReceiverLoadResult,
     receiver_load_scenario,
+)
+from repro.harness.experiments.reverse_path import (  # noqa: F401
+    REVERSE_PATH_PROTOCOLS,
+    ReversePathResult,
+    reverse_path_scenario,
 )
 from repro.harness.experiments.reliability import (  # noqa: F401
     ReliabilityResult,

@@ -1,6 +1,7 @@
 """A1 — gTFRC design ablation (DESIGN.md §6).
 
-Compares the guaranteed-rate mechanisms on the T1 configuration:
+Compares the guaranteed-rate mechanisms on the T1 configuration (the
+shared :func:`repro.topo.presets.t1_dumbbell_spec`):
 
 * ``floor``      — the draft's hard ``X = max(g, X_tfrc)`` (default);
 * ``p-scaling``  — scale the loss event rate by the out-of-profile
@@ -12,18 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.instances import QTPAF, TFRC_MEDIA
-from repro.core.profile import ReliabilityMode
 from repro.harness.registry import register
-from repro.metrics.recorder import FlowRecorder
-from repro.qos.marking import ProfileMarker
-from repro.qos.sla import ServiceLevelAgreement
 from repro.sim.engine import Simulator
-from repro.sim.queues import RioQueue
-from repro.sim.topology import dumbbell
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
-from repro.tfrc.gtfrc import GtfrcRateController
+from repro.topo import build, t1_dumbbell_spec
 
 #: Mechanism variants accepted by the scenario.
 ABLATION_VARIANTS = ("floor", "p-scaling", "none")
@@ -63,46 +55,22 @@ def gtfrc_ablation_scenario(
     """
     if variant not in ABLATION_VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
-    from repro.core.receiver import QtpReceiver
-    from repro.core.sender import QtpSender
-
     sim = Simulator(seed=seed)
-    sla = ServiceLevelAgreement("assured", target_bps, burst_bytes=30_000)
-    markers = [ProfileMarker(sla.build_meter(), flow_id="assured")] + [None] * n_cross
-    d = dumbbell(
+    built = build(
         sim,
-        n_pairs=1 + n_cross,
-        bottleneck_rate=10e6,
-        bottleneck_delay=0.02,
-        bottleneck_queue_factory=lambda: RioQueue(
-            rng=sim.rng("rio"), mean_pkt_time=0.0008
+        t1_dumbbell_spec(
+            "tfrc" if variant == "none" else "gtfrc",
+            target_bps,
+            n_cross=n_cross,
+            assured_access_delay=0.1,
+            p_scaling=(variant == "p-scaling"),
         ),
-        access_delays=[0.1] + [0.002] * n_cross,
-        access_markers=markers,
     )
-    rec = FlowRecorder()
-    if variant == "none":
-        profile, controller = TFRC_MEDIA, None
-    else:
-        profile = QTPAF(target_bps, name=f"gTFRC-{variant}",
-                        reliability=ReliabilityMode.NONE)
-        controller = GtfrcRateController(
-            target_bps / 8, profile.segment_size, p_scaling=(variant == "p-scaling")
-        )
-    sender = QtpSender(sim, dst="d0", profile=profile, controller=controller)
-    receiver = QtpReceiver(sim, profile=profile, recorder=rec)
-    sender.attach(d.net.node("s0"), "assured")
-    receiver.attach(d.net.node("d0"), "assured")
-    sender.start()
-    for i in range(1, 1 + n_cross):
-        TcpSender(sim, dst=f"d{i}", sack=True).attach(
-            d.net.node(f"s{i}"), f"x{i}"
-        ).start()
-        TcpReceiver(sim, sack=True).attach(d.net.node(f"d{i}"), f"x{i}")
     sim.run(until=duration)
+    sender = built.senders["assured"]
     return AblationResult(
         variant=variant,
         target_bps=target_bps,
-        achieved_bps=rec.mean_rate_bps(warmup, duration),
+        achieved_bps=built.recorder("assured").mean_rate_bps(warmup, duration),
         floor_hits=getattr(sender.controller, "floor_activations", 0),
     )

@@ -2,26 +2,20 @@
 
 An assured flow holding an AF reservation (srTCM edge marker + RIO
 bottleneck) against greedy best-effort TCP cross traffic; the paper's
-central experiment.
+central experiment.  The dumbbell itself is the shared
+:func:`repro.topo.presets.t1_dumbbell_spec` compiled by
+:func:`repro.topo.build` (goldens pin the construction order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
-from repro.core.profile import ReliabilityMode, TransportProfile
 from repro.harness.registry import register
-from repro.metrics.recorder import FlowRecorder
-from repro.qos.marking import ProfileMarker
-from repro.qos.sla import ServiceLevelAgreement
 from repro.sim.engine import Simulator
 from repro.sim.packet import Color
-from repro.sim.queues import RioQueue
-from repro.sim.topology import dumbbell
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
+from repro.topo import build, t1_dumbbell_spec
 
 #: Protocol labels accepted by the scenarios.
 AF_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
@@ -42,16 +36,6 @@ class AfResult:
     def ratio(self) -> float:
         """Achieved / negotiated — 1.0 means the assurance held."""
         return self.achieved_bps / self.target_bps if self.target_bps else 0.0
-
-
-def _assured_profile(protocol: str, target_bps: float) -> Optional[TransportProfile]:
-    if protocol == "qtpaf":
-        return QTPAF(target_bps)
-    if protocol == "gtfrc":
-        return QTPAF(target_bps, name="gTFRC", reliability=ReliabilityMode.NONE)
-    if protocol == "tfrc":
-        return TFRC_MEDIA
-    return None  # tcp
 
 
 @register(
@@ -85,55 +69,21 @@ def af_dumbbell_scenario(
     if protocol not in AF_PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}")
     sim = Simulator(seed=seed)
-    sla = ServiceLevelAgreement(
-        flow_id="assured", committed_rate_bps=target_bps, burst_bytes=30_000
-    )
-    markers: List[Optional[ProfileMarker]] = [
-        ProfileMarker(sla.build_meter(), flow_id="assured")
-    ] + [None] * n_cross
-    delays = [assured_access_delay or access_delay] + [access_delay] * n_cross
-    rio_rng = sim.rng("rio")
-    mean_pkt_time = 1000 * 8 / bottleneck_bps
-    d = dumbbell(
+    built = build(
         sim,
-        n_pairs=1 + n_cross,
-        bottleneck_rate=bottleneck_bps,
-        bottleneck_delay=bottleneck_delay,
-        bottleneck_queue_factory=lambda: RioQueue(
-            rng=rio_rng, mean_pkt_time=mean_pkt_time
+        t1_dumbbell_spec(
+            protocol,
+            target_bps,
+            n_cross=n_cross,
+            bottleneck_bps=bottleneck_bps,
+            bottleneck_delay=bottleneck_delay,
+            access_delay=access_delay,
+            assured_access_delay=assured_access_delay,
+            cross_record=True,
         ),
-        access_delays=delays,
-        access_markers=markers,
     )
-    assured_rec = FlowRecorder("assured")
-    profile = _assured_profile(protocol, target_bps)
-    if profile is None:
-        sender = TcpSender(sim, dst="d0", sack=True)
-        receiver = TcpReceiver(sim, recorder=assured_rec, sack=True)
-        sender.attach(d.net.node("s0"), "assured")
-        receiver.attach(d.net.node("d0"), "assured")
-        sender.start()
-    else:
-        sender, receiver = build_transport_pair(
-            sim,
-            d.net.node("s0"),
-            d.net.node("d0"),
-            "assured",
-            profile,
-            recorder=assured_rec,
-            start=True,
-        )
-    cross_recs = []
-    for i in range(1, 1 + n_cross):
-        rec = FlowRecorder(f"cross{i}")
-        cross_recs.append(rec)
-        tcp_snd = TcpSender(sim, dst=f"d{i}", sack=True)
-        tcp_rcv = TcpReceiver(sim, recorder=rec, sack=True)
-        tcp_snd.attach(d.net.node(f"s{i}"), f"x{i}")
-        tcp_rcv.attach(d.net.node(f"d{i}"), f"x{i}")
-        tcp_snd.start()
     sim.run(until=duration)
-    stats = d.bottleneck.queue.stats
+    stats = built.queue("left", "right").stats
     green_offered = (
         stats.accepts_by_color[Color.GREEN] + stats.drops_by_color[Color.GREEN]
     )
@@ -142,10 +92,11 @@ def af_dumbbell_scenario(
     return AfResult(
         protocol=protocol,
         target_bps=target_bps,
-        achieved_bps=assured_rec.mean_rate_bps(warmup, duration),
-        green_drop_ratio=(
-            stats.drops_by_color[Color.GREEN] / green_offered if green_offered else 0.0
-        ),
+        achieved_bps=built.recorder("assured").mean_rate_bps(warmup, duration),
+        green_drop_ratio=stats.color_drop_ratio(Color.GREEN),
         out_drop_ratio=out_drops / out_offered if out_offered else 0.0,
-        cross_total_bps=sum(r.mean_rate_bps(warmup, duration) for r in cross_recs),
+        cross_total_bps=sum(
+            built.recorder(f"x{i}").mean_rate_bps(warmup, duration)
+            for i in range(1, 1 + n_cross)
+        ),
     )

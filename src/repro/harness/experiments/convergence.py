@@ -1,9 +1,11 @@
 """F5 — recovery of the guaranteed rate after a congestion step (paper §4).
 
-At ``step_time`` a burst of greedy TCP flows joins the AF bottleneck.
-Plain TFRC reacts to the resulting (out-of-profile) losses and dips far
-below the reservation, taking seconds to crawl back; gTFRC's floor
-keeps the assured flow at ``g`` throughout.
+At ``step_time`` a burst of greedy TCP flows joins the AF bottleneck
+(the shared :func:`repro.topo.presets.t1_dumbbell_spec`, with the cross
+flows' start deferred).  Plain TFRC reacts to the resulting
+(out-of-profile) losses and dips far below the reservation, taking
+seconds to crawl back; gTFRC's floor keeps the assured flow at ``g``
+throughout.
 """
 
 from __future__ import annotations
@@ -11,17 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.core.instances import QTPAF, TFRC_MEDIA, build_transport_pair
-from repro.core.profile import ReliabilityMode
 from repro.harness.registry import register
-from repro.metrics.recorder import FlowRecorder
-from repro.qos.marking import ProfileMarker
-from repro.qos.sla import ServiceLevelAgreement
 from repro.sim.engine import Simulator
-from repro.sim.queues import RioQueue
-from repro.sim.topology import dumbbell
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
+from repro.topo import build, t1_dumbbell_spec
 
 
 @dataclass
@@ -49,45 +43,29 @@ def convergence_scenario(
     seed: int = 3,
 ) -> ConvergenceResult:
     """One assured flow; ``n_cross`` TCP flows join at ``step_time``."""
-    if step_time < 0:
-        raise ValueError("step_time must be non-negative")
+    # a zero step would degenerate into plain af_assurance with an
+    # ill-defined start interleaving; the spec layer starts flows with
+    # start == 0 during the build, so require a real post-start step
+    if step_time <= 0:
+        raise ValueError("step_time must be positive")
     if int(step_time) + 1 >= duration:
         raise ValueError(
             f"step_time={step_time!r} leaves no measurement window before "
             f"duration={duration!r}; need step_time + 1 s < duration"
         )
     sim = Simulator(seed=seed)
-    sla = ServiceLevelAgreement("assured", target_bps, burst_bytes=30_000)
-    markers = [ProfileMarker(sla.build_meter(), flow_id="assured")] + [None] * n_cross
-    d = dumbbell(
+    built = build(
         sim,
-        n_pairs=1 + n_cross,
-        bottleneck_rate=10e6,
-        bottleneck_delay=0.02,
-        bottleneck_queue_factory=lambda: RioQueue(
-            rng=sim.rng("rio"), mean_pkt_time=0.0008
+        t1_dumbbell_spec(
+            protocol,
+            target_bps,
+            n_cross=n_cross,
+            assured_access_delay=0.1,
+            cross_start=step_time,
         ),
-        access_delays=[0.1] + [0.002] * n_cross,
-        access_markers=markers,
     )
-    rec = FlowRecorder("assured")
-    profile = (
-        QTPAF(target_bps, name="gTFRC", reliability=ReliabilityMode.NONE)
-        if protocol == "gtfrc"
-        else TFRC_MEDIA
-    )
-    build_transport_pair(
-        sim, d.net.node("s0"), d.net.node("d0"), "assured", profile,
-        recorder=rec, start=True,
-    )
-    for i in range(1, 1 + n_cross):
-        snd = TcpSender(sim, dst=f"d{i}", sack=True)
-        rcv = TcpReceiver(sim, sack=True)
-        snd.attach(d.net.node(f"s{i}"), f"x{i}")
-        rcv.attach(d.net.node(f"d{i}"), f"x{i}")
-        sim.schedule(step_time, snd.start)
     sim.run(until=duration)
-    series = rec.series(1.0, end=duration)  # bytes/s per 1 s bin
+    series = built.recorder("assured").series(1.0, end=duration)  # bytes/s per bin
     series_bps = [8 * v for v in series]
     after = series_bps[int(step_time) + 1:]
     if not after:

@@ -25,12 +25,14 @@ invalidates stale results.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import itertools
 import json
 import multiprocessing
 import os
 import pickle
+import sqlite3
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,12 +51,23 @@ from typing import (
 from repro.harness.registry import get_scenario
 
 __all__ = [
+    "CACHE_ENV",
     "RunRecord",
+    "SqliteSweepCache",
     "SweepCache",
     "code_version",
     "expand_grid",
+    "make_cache",
     "run_matrix",
 ]
+
+#: Environment variable selecting an alternate cache backend for
+#: :func:`run_matrix`.  ``REPRO_CACHE=sqlite:/path/to/results.db``
+#: stores every memoized run in one sqlite file — a single shareable
+#: artifact for CI reuse — instead of the default per-machine
+#: pickle-per-run directory.  Explicitly disabled caching
+#: (``cache_dir=None`` / ``--no-cache``) always wins over the variable.
+CACHE_ENV = "REPRO_CACHE"
 
 
 @dataclass
@@ -126,32 +139,40 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
+def cache_key(scenario: str, params: Mapping[str, Any]) -> str:
+    """The canonical memo key: sha256 of the JSON-canonicalized contract.
+
+    Parameters are JSON-canonicalized (sorted keys) before hashing so
+    dict ordering never matters; both cache backends share this key.
+    """
+    payload = json.dumps(
+        {
+            "scenario": scenario,
+            "params": params,
+            # the seed also lives in params; it is keyed explicitly
+            # as well so the cache contract (scenario, params, seed,
+            # code_version) holds even for scenarios without one
+            "seed": params.get("seed"),
+            "code_version": code_version(),
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 class SweepCache:
     """Pickle-per-run result store under one directory.
 
     Filenames are ``<scenario>-<sha256 of (scenario, params, seed,
-    code_version)>.pkl``; parameters are JSON-canonicalized
-    (sorted keys) before hashing so dict ordering never matters.
+    code_version)>.pkl`` (see :func:`cache_key`).
     """
 
     def __init__(self, directory: Path):
         self.directory = Path(directory)
 
     def key(self, scenario: str, params: Mapping[str, Any]) -> str:
-        payload = json.dumps(
-            {
-                "scenario": scenario,
-                "params": params,
-                # the seed also lives in params; it is keyed explicitly
-                # as well so the cache contract (scenario, params, seed,
-                # code_version) holds even for scenarios without one
-                "seed": params.get("seed"),
-                "code_version": code_version(),
-            },
-            sort_keys=True,
-            default=repr,
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return cache_key(scenario, params)
 
     def _path(self, scenario: str, params: Mapping[str, Any]) -> Path:
         return self.directory / f"{scenario}-{self.key(scenario, params)}.pkl"
@@ -176,6 +197,110 @@ class SweepCache:
         with tmp.open("wb") as fh:
             pickle.dump(record, fh)
         tmp.replace(path)  # atomic even with concurrent sweeps
+
+
+class SqliteSweepCache:
+    """Single-file sqlite result store (``REPRO_CACHE=sqlite:path``).
+
+    Same contract and :func:`cache_key` as :class:`SweepCache`, but all
+    runs live in one ``results`` table keyed by the memo digest — the
+    whole sweep history is one file that CI jobs can upload, download
+    and share across hosts.  Writes go through short-lived connections
+    with ``INSERT OR REPLACE``, so concurrent sweeps at worst redo a
+    run, never corrupt the store.
+    """
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS results ("
+        " key TEXT PRIMARY KEY,"
+        " scenario TEXT NOT NULL,"
+        " params_json TEXT NOT NULL,"
+        " created REAL NOT NULL,"
+        " payload BLOB NOT NULL)"
+    )
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._schema_ready = False
+
+    @contextlib.contextmanager
+    def _connect(self):
+        """A short-lived, always-closed connection with the schema ready.
+
+        (``sqlite3``'s own context manager only commits/rolls back — it
+        does not close, so handles would pile up over a large sweep.)
+        """
+        if not self._schema_ready and self.path.parent:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with contextlib.closing(
+            sqlite3.connect(self.path, timeout=30.0)
+        ) as conn:
+            if not self._schema_ready:
+                conn.execute(self._SCHEMA)
+                self._schema_ready = True
+            with conn:  # one transaction per cache operation
+                yield conn
+
+    def key(self, scenario: str, params: Mapping[str, Any]) -> str:
+        return cache_key(scenario, params)
+
+    def load(self, scenario: str, params: Mapping[str, Any]) -> Optional[RunRecord]:
+        try:
+            with self._connect() as conn:
+                row = conn.execute(
+                    "SELECT payload FROM results WHERE key = ?",
+                    (cache_key(scenario, params),),
+                ).fetchone()
+            if row is None:
+                return None
+            record: RunRecord = pickle.loads(row[0])
+        except Exception:
+            # unreadable file/row (locked db, truncated blob, foreign
+            # pickle) is a miss to recompute, same policy as SweepCache
+            return None
+        record.cached = True
+        return record
+
+    def store(self, record: RunRecord) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, scenario, params_json, created, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    cache_key(record.scenario, record.params),
+                    record.scenario,
+                    json.dumps(record.params, sort_keys=True, default=repr),
+                    time.time(),
+                    pickle.dumps(record),
+                ),
+            )
+
+
+def make_cache(cache_dir: Optional[Path]):
+    """Resolve the cache backend for one :func:`run_matrix` call.
+
+    ``cache_dir=None`` (caching explicitly disabled) always returns
+    ``None``.  Otherwise the :data:`CACHE_ENV` variable may redirect
+    the memo to an alternate backend — currently
+    ``sqlite:<path>`` — and the default is the pickle-per-run
+    :class:`SweepCache` under ``cache_dir``.
+    """
+    if cache_dir is None:
+        return None
+    spec = os.environ.get(CACHE_ENV, "").strip()
+    if not spec:
+        return SweepCache(cache_dir)
+    backend, _, arg = spec.partition(":")
+    if backend == "sqlite":
+        if not arg:
+            raise ValueError(
+                f"{CACHE_ENV}=sqlite needs a path: sqlite:/path/to/results.db"
+            )
+        return SqliteSweepCache(Path(arg))
+    raise ValueError(
+        f"unknown {CACHE_ENV} backend {backend!r} (known: sqlite:<path>)"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +359,9 @@ def run_matrix(
         identical for every worker count.
     cache_dir:
         Directory for the on-disk memo; ``None`` disables caching.
+        When caching is enabled, ``REPRO_CACHE=sqlite:<path>`` in the
+        environment redirects the memo to a single shareable sqlite
+        file instead (see :func:`make_cache`).
     progress:
         Optional callback invoked with each finished/loaded record.
 
@@ -261,7 +389,7 @@ def run_matrix(
         spec.bind(params)  # validate names early, before any work
         run_params.append(params)
 
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    cache = make_cache(cache_dir)
     records: List[Optional[RunRecord]] = [None] * len(run_params)
     misses: List[int] = []
     for i, params in enumerate(run_params):

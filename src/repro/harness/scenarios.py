@@ -17,7 +17,6 @@ from repro.harness.experiments.ablation import (  # noqa: F401
 from repro.harness.experiments.af_assurance import (  # noqa: F401
     AF_PROTOCOLS,
     AfResult,
-    _assured_profile,
     af_dumbbell_scenario,
 )
 from repro.harness.experiments.convergence import (  # noqa: F401

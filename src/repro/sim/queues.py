@@ -53,6 +53,15 @@ class QueueStats:
             return 0.0
         return self.dropped / self.offered
 
+    def color_drop_ratio(self, color: Color) -> float:
+        """Fraction of offered ``color`` packets dropped; 0.0 when none.
+
+        The per-precedence ratio every DiffServ experiment reports
+        (green = in-profile protection, the AF assurance's core metric).
+        """
+        offered = self.accepts_by_color[color] + self.drops_by_color[color]
+        return self.drops_by_color[color] / offered if offered else 0.0
+
 
 class DropTailQueue:
     """FIFO queue with a packet-count and/or byte capacity.

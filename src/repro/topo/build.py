@@ -1,0 +1,233 @@
+"""The spec compiler: ``build(sim, spec) -> BuiltScenario``.
+
+The build order is **pinned** and must not be reordered — goldens and
+benchmark tables fingerprint it (see
+``tests/test_determinism_golden.py``):
+
+1. **Nodes**: every name in ``spec.topology.nodes`` first, then lazily
+   from link endpoints (forward ``src`` before ``dst``), in link order.
+2. **Links**, in spec order.  Per link: the forward marker (its meter
+   is built here, one fresh meter per ``MarkerSpec`` occurrence), the
+   forward queue, the forward link; then, for duplex links, the reverse
+   queue and reverse link.  RED/RIO queues draw their randomness from
+   the named :meth:`~repro.sim.engine.Simulator.rng` stream
+   (``QueueSpec.rng_stream``), which is memoized per name, so every
+   queue sharing a stream name shares one deterministic sequence.
+3. **Routes**: one ``compute_routes()`` pass.
+4. **Flows**, in spec order.  Per flow: sender constructed, receiver
+   constructed, sender attached, receiver attached, then the schedule
+   (``start == 0`` starts the sender immediately — *during* the build,
+   exactly like the historical scaffolds — otherwise ``sim.schedule``
+   entries are created here, in flow order, pinning event-heap
+   tie-breaking for simultaneous starts).
+
+Nothing before ``sim.run()`` draws from any random stream, so the only
+determinism-relevant orders are the queue/stream bindings of step 2 and
+the schedule calls of step 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.instances import QTPAF, TFRC_MEDIA
+from repro.core.profile import ReliabilityMode, TransportProfile
+from repro.core.receiver import QtpReceiver
+from repro.core.sender import QtpSender
+from repro.metrics.recorder import FlowRecorder
+from repro.qos.marking import BestEffortMarker, ProfileMarker
+from repro.qos.sla import ServiceLevelAgreement
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Color
+from repro.sim.queues import DropTailQueue, RedQueue, RioQueue
+from repro.sim.topology import Network
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.tfrc.gtfrc import GtfrcRateController
+from repro.topo.specs import (
+    FlowSpec,
+    LinkSpec,
+    MarkerSpec,
+    QueueSpec,
+    ScenarioSpec,
+)
+
+Sender = Union[QtpSender, TcpSender]
+Receiver = Union[QtpReceiver, TcpReceiver]
+
+
+@dataclass
+class BuiltScenario:
+    """Live objects compiled from a :class:`ScenarioSpec`.
+
+    Dictionaries are keyed by flow id (``recorders``, ``senders``,
+    ``receivers``, ``slas``) or by ``"src->dst"`` (``markers``).  Only
+    flows with ``record=True`` appear in ``recorders``.  When a flow
+    holds several SLAs (per-hop re-conditioning, e.g. the parking lot),
+    ``slas`` keeps the *first* one in link-spec order — presets list
+    the domain-edge link first so that is the flow's primary contract;
+    every meter remains reachable via ``markers["src->dst"].meter``.
+    """
+
+    spec: ScenarioSpec
+    net: Network
+    recorders: Dict[str, FlowRecorder] = field(default_factory=dict)
+    senders: Dict[str, Sender] = field(default_factory=dict)
+    receivers: Dict[str, Receiver] = field(default_factory=dict)
+    markers: Dict[str, Union[ProfileMarker, BestEffortMarker]] = field(
+        default_factory=dict
+    )
+    slas: Dict[str, ServiceLevelAgreement] = field(default_factory=dict)
+
+    def link(self, src: str, dst: str) -> Link:
+        """The directed link ``src -> dst``."""
+        return self.net.link(src, dst)
+
+    def queue(self, src: str, dst: str):
+        """The queue of the directed link ``src -> dst``."""
+        return self.net.link(src, dst).queue
+
+    def recorder(self, flow_id: str) -> FlowRecorder:
+        """The recorder of ``flow_id``; KeyError for unrecorded flows."""
+        return self.recorders[flow_id]
+
+
+def build(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
+    """Compile ``spec`` into a ready-to-run scenario (see module doc)."""
+    net = Network(sim)
+    built = BuiltScenario(spec=spec, net=net)
+    # 1. nodes: declared order first, then lazily from links
+    for name in spec.topology.nodes:
+        net.add_node(name)
+    # 2. links in spec order
+    for ls in spec.topology.links:
+        marker = None
+        if ls.marker is not None:
+            marker = _build_marker(ls.marker, built)
+            built.markers[f"{ls.src}->{ls.dst}"] = marker
+        net.add_simplex_link(
+            ls.src,
+            ls.dst,
+            ls.rate_bps,
+            ls.delay,
+            queue=_build_queue(ls.queue, sim, ls.rate_bps),
+            marker=marker,
+        )
+        if ls.duplex:
+            reverse = ls.reverse_queue if ls.reverse_queue is not None else ls.queue
+            net.add_simplex_link(
+                ls.dst,
+                ls.src,
+                ls.rate_bps,
+                ls.delay,
+                queue=_build_queue(reverse, sim, ls.rate_bps),
+            )
+    # 3. routes
+    net.compute_routes()
+    # 4. flows in spec order
+    for fs in spec.flows:
+        recorder = None
+        if fs.record:
+            recorder = FlowRecorder(fs.flow_id)
+            built.recorders[fs.flow_id] = recorder
+        sender, receiver = _build_flow(sim, net, fs, recorder)
+        built.senders[fs.flow_id] = sender
+        built.receivers[fs.flow_id] = receiver
+        if fs.start <= 0.0:
+            sender.start()
+        else:
+            sim.schedule(fs.start, sender.start)
+        if fs.stop is not None:
+            sim.schedule(fs.stop, sender.stop)
+    return built
+
+
+# ----------------------------------------------------------------------
+# element compilers
+# ----------------------------------------------------------------------
+def _build_queue(qs: QueueSpec, sim: Simulator, link_rate_bps: float):
+    """Instantiate one queue; ``None`` spec fields keep class defaults."""
+    if qs.kind == "droptail":
+        # pass only the set fields so DropTailQueue's own defaults hold
+        # (a bytes-only bound keeps the default 100-packet bound too)
+        kwargs = {}
+        if qs.capacity_packets is not None:
+            kwargs["capacity_packets"] = qs.capacity_packets
+        if qs.capacity_bytes is not None:
+            kwargs["capacity_bytes"] = qs.capacity_bytes
+        return DropTailQueue(**kwargs)
+    kwargs = {}
+    if qs.kind == "red":
+        fields = ("min_th", "max_th", "max_p")
+        cls = RedQueue
+    else:  # rio
+        fields = (
+            "in_min_th", "in_max_th", "in_max_p",
+            "out_min_th", "out_max_th", "out_max_p",
+        )
+        cls = RioQueue
+    for name in fields + ("weight", "capacity_packets"):
+        value = getattr(qs, name)
+        if value is not None:
+            kwargs[name] = value
+    mean_pkt_time = qs.mean_pkt_time
+    if mean_pkt_time is None:
+        mean_pkt_time = qs.mean_pkt_bytes * 8 / link_rate_bps
+    return cls(
+        rng=sim.rng(qs.rng_stream), mean_pkt_time=mean_pkt_time, **kwargs
+    )
+
+
+def _build_marker(ms: MarkerSpec, built: BuiltScenario):
+    """Instantiate one marker (and its meter/SLA, when profiled)."""
+    color = Color[ms.default_color.upper()]
+    if ms.sla is None:
+        return BestEffortMarker(color=color)
+    sla = ServiceLevelAgreement(
+        flow_id=ms.sla.flow_id,
+        committed_rate_bps=ms.sla.committed_rate_bps,
+        burst_bytes=ms.sla.burst_bytes,
+        excess_burst_bytes=ms.sla.excess_burst_bytes,
+        af_class=ms.sla.af_class,
+    )
+    built.slas.setdefault(ms.sla.flow_id, sla)
+    return ProfileMarker(
+        sla.build_meter(), flow_id=ms.sla.flow_id, default_color=color
+    )
+
+
+def _profile_for(fs: FlowSpec) -> TransportProfile:
+    """The canonical profile of a non-TCP transport label."""
+    if fs.transport == "qtpaf":
+        return QTPAF(fs.target_bps)
+    if fs.transport == "gtfrc":
+        return QTPAF(
+            fs.target_bps, name="gTFRC", reliability=ReliabilityMode.NONE
+        )
+    return TFRC_MEDIA  # tfrc
+
+
+def _build_flow(
+    sim: Simulator,
+    net: Network,
+    fs: FlowSpec,
+    recorder: Optional[FlowRecorder],
+) -> Tuple[Sender, Receiver]:
+    """Construct/attach one flow's endpoints (sender first, see module doc)."""
+    if fs.transport == "tcp":
+        sender: Sender = TcpSender(sim, dst=fs.dst, sack=fs.sack)
+        receiver: Receiver = TcpReceiver(sim, recorder=recorder, sack=fs.sack)
+    else:
+        profile = _profile_for(fs)
+        controller = None
+        if fs.transport == "gtfrc" and fs.p_scaling:
+            controller = GtfrcRateController(
+                fs.target_bps / 8, profile.segment_size, p_scaling=True
+            )
+        sender = QtpSender(sim, dst=fs.dst, profile=profile, controller=controller)
+        receiver = QtpReceiver(sim, profile=profile, recorder=recorder)
+    sender.attach(net.node(fs.src), fs.flow_id)
+    receiver.attach(net.node(fs.dst), fs.flow_id)
+    return sender, receiver

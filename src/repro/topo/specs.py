@@ -1,0 +1,247 @@
+"""Frozen declarative specs for topologies and scenarios.
+
+A scenario is *data*: a :class:`TopologySpec` (links carrying
+:class:`QueueSpec` disciplines and :class:`MarkerSpec` edge
+conditioners) plus an ordered tuple of :class:`FlowSpec` transports.
+The :func:`repro.topo.build.build` compiler turns a
+:class:`ScenarioSpec` into live simulation objects in a pinned,
+documented order, so two identical specs always produce bit-identical
+runs.
+
+Everything here is a frozen dataclass with JSON-scalar-or-spec fields:
+specs are hashable, comparable, and printable, which is what lets
+experiment modules share one ``t1_dumbbell_spec()`` instead of four
+drifting copies of the same builder code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Queue disciplines understood by the compiler.
+QUEUE_KINDS = ("droptail", "red", "rio")
+
+#: Transports understood by the compiler.  ``tcp`` builds the SACK TCP
+#: baseline; the others build QTP endpoints with the matching profile
+#: (see :func:`repro.topo.build._profile_for`).
+TRANSPORTS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """One queue discipline instance (a fresh queue per link direction).
+
+    ``None`` parameters defer to the discipline's own defaults in
+    :mod:`repro.sim.queues`; only non-``None`` values are passed
+    through, so queue-class defaults stay defined in exactly one place.
+
+    ``mean_pkt_time`` (RED/RIO idle-decay constant) defaults to the
+    transmission time of a ``mean_pkt_bytes`` packet at the owning
+    link's rate — the convention every T1 scaffold used, now computed
+    in one place.
+    """
+
+    kind: str = "droptail"
+    capacity_packets: Optional[int] = None
+    capacity_bytes: Optional[int] = None  # droptail only
+    # RED parameters
+    min_th: Optional[float] = None
+    max_th: Optional[float] = None
+    max_p: Optional[float] = None
+    # RIO parameters (per-precedence RED curves)
+    in_min_th: Optional[float] = None
+    in_max_th: Optional[float] = None
+    in_max_p: Optional[float] = None
+    out_min_th: Optional[float] = None
+    out_max_th: Optional[float] = None
+    out_max_p: Optional[float] = None
+    weight: Optional[float] = None
+    mean_pkt_time: Optional[float] = None
+    mean_pkt_bytes: float = 1000.0
+    rng_stream: str = "rio"
+
+    #: Which optional fields each discipline consumes (beyond
+    #: ``capacity_packets``); anything else set is a spec typo.
+    _KIND_FIELDS = {
+        "droptail": frozenset({"capacity_bytes"}),
+        "red": frozenset({"min_th", "max_th", "max_p", "weight",
+                          "mean_pkt_time", "mean_pkt_bytes"}),
+        "rio": frozenset({"in_min_th", "in_max_th", "in_max_p",
+                          "out_min_th", "out_max_th", "out_max_p",
+                          "weight", "mean_pkt_time", "mean_pkt_bytes"}),
+    }
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUEUE_KINDS:
+            raise ValueError(
+                f"unknown queue kind {self.kind!r}; known: {QUEUE_KINDS}"
+            )
+        allowed = self._KIND_FIELDS[self.kind]
+        tunables = frozenset().union(*self._KIND_FIELDS.values()) - {
+            "mean_pkt_bytes"  # has a non-None default; never "set"
+        }
+        set_fields = {
+            name for name in tunables if getattr(self, name) is not None
+        }
+        stray = sorted(set_fields - allowed)
+        if stray:
+            raise ValueError(
+                f"queue kind {self.kind!r} does not use parameter(s) "
+                f"{stray}; they would be silently ignored"
+            )
+
+
+@dataclass(frozen=True)
+class SlaSpec:
+    """A service-level agreement to be realized as an srTCM edge meter."""
+
+    flow_id: str
+    committed_rate_bps: float
+    burst_bytes: float = 15_000.0
+    excess_burst_bytes: float = 0.0
+    af_class: str = "AF1x"
+
+
+@dataclass(frozen=True)
+class MarkerSpec:
+    """An edge conditioner installed on one (forward) link direction.
+
+    With ``sla`` set, builds a :class:`~repro.qos.marking.ProfileMarker`
+    metering that flow (every other flow gets ``default_color``); each
+    occurrence of a ``MarkerSpec`` builds its *own* meter, so two
+    markers for the same flow on different links model independent
+    per-hop conditioning.  Without ``sla``, builds a
+    :class:`~repro.qos.marking.BestEffortMarker` applying
+    ``default_color`` to everything.
+    """
+
+    sla: Optional[SlaSpec] = None
+    default_color: str = "red"  # Color name, lowercase
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One (by default duplex) link.
+
+    The forward direction is ``src -> dst``; ``marker`` conditions the
+    forward direction only (the usual edge placement).  A duplex link
+    gets a *fresh* queue instance per direction — ``reverse_queue``
+    overrides the reverse discipline, otherwise ``queue`` is reused as
+    the spec for both.
+    """
+
+    src: str
+    dst: str
+    rate_bps: float
+    delay: float
+    queue: QueueSpec = field(default_factory=QueueSpec)
+    reverse_queue: Optional[QueueSpec] = None
+    marker: Optional[MarkerSpec] = None
+    duplex: bool = True
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Nodes and links, in build order.
+
+    ``nodes`` optionally pre-declares creation order; any endpoint not
+    listed is created lazily when its first link is built (for the
+    canonical dumbbell/chain/star shapes the lazy order already matches
+    the historical builders exactly).
+    """
+
+    links: Tuple[LinkSpec, ...]
+    nodes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # a repeated directed pair would silently *replace* the earlier
+        # link (and its queue/marker) inside Network — always a spec bug
+        seen = set()
+        for ls in self.links:
+            directions = [(ls.src, ls.dst)] + ([(ls.dst, ls.src)] if ls.duplex else [])
+            for pair in directions:
+                if pair in seen:
+                    raise ValueError(
+                        f"duplicate directed link {pair[0]!r} -> {pair[1]!r} "
+                        "(check duplex=True defaults)"
+                    )
+                seen.add(pair)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One transport flow: endpoints, profile, schedule.
+
+    ``transport`` selects the stack: ``tcp`` (SACK TCP baseline),
+    ``tfrc`` (stock RFC 3448), ``gtfrc`` (QoS-aware rate control only,
+    no reliability) or ``qtpaf`` (the paper's full instance).
+    ``target_bps`` is the AF guarantee ``g`` and is required for the
+    QoS-aware transports.  ``p_scaling`` switches gTFRC to the
+    loss-rate-scaling variant (the A1 ablation's smoother mechanism).
+
+    ``start``/``stop`` schedule the sender: ``start == 0`` starts it
+    during construction (the historical scaffold behaviour, which pins
+    event tie-breaking), a positive ``start`` schedules it, and a
+    non-``None`` ``stop`` schedules ``sender.stop``.
+    """
+
+    flow_id: str
+    src: str
+    dst: str
+    transport: str = "tcp"
+    target_bps: Optional[float] = None
+    record: bool = True
+    start: float = 0.0
+    stop: Optional[float] = None
+    p_scaling: bool = False
+    sack: bool = True  # tcp only
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; known: {TRANSPORTS}"
+            )
+        if self.transport in ("gtfrc", "qtpaf") and not self.target_bps:
+            raise ValueError(
+                f"flow {self.flow_id!r}: transport {self.transport!r} "
+                "requires target_bps (the AF guarantee g)"
+            )
+        if self.start < 0:
+            raise ValueError(f"flow {self.flow_id!r}: start must be >= 0")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(f"flow {self.flow_id!r}: stop must be > start")
+        # parameters that only one transport consumes must not be set
+        # elsewhere — they would be silently ignored (same policy as
+        # QueueSpec's kind/parameter cross-check)
+        if self.p_scaling and self.transport != "gtfrc":
+            raise ValueError(
+                f"flow {self.flow_id!r}: p_scaling only applies to the "
+                f"'gtfrc' transport, not {self.transport!r}"
+            )
+        if not self.sack and self.transport != "tcp":
+            raise ValueError(
+                f"flow {self.flow_id!r}: sack only applies to the 'tcp' "
+                f"transport, not {self.transport!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete composable scenario: topology plus flows, in order.
+
+    Flow order is semantic: senders start (or are scheduled) in tuple
+    order, which pins simultaneous-event tie-breaking.
+    """
+
+    name: str
+    topology: TopologySpec
+    flows: Tuple[FlowSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for flow in self.flows:
+            if flow.flow_id in seen:
+                raise ValueError(f"duplicate flow_id {flow.flow_id!r}")
+            seen.add(flow.flow_id)

@@ -20,7 +20,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness.bench import engine_trace_probe, network_trace_probe
+from repro.harness.bench import (
+    TOPO_PROBE_SCENARIOS,
+    engine_trace_probe,
+    network_trace_probe,
+    topo_trace_probe,
+)
 
 GOLDENS_PATH = (
     Path(__file__).resolve().parent.parent
@@ -58,4 +63,18 @@ def test_engine_probe_varies_with_seed():
 def test_network_probe_is_repeatable():
     a = network_trace_probe(seed=3, protocol="tfrc", duration=2.0)
     b = network_trace_probe(seed=3, protocol="tfrc", duration=2.0)
+    assert a == b
+
+
+@pytest.mark.parametrize("scenario", TOPO_PROBE_SCENARIOS)
+def test_topo_scenario_trace_matches_golden(goldens, scenario):
+    # pins the PR 3 spec-built scenarios (parking lot, reverse-path
+    # chain, heterogeneous SLAs) so later PRs can refactor the specs
+    # and the compiler safely
+    assert topo_trace_probe(scenario) == goldens["topo"][scenario]
+
+
+def test_topo_probe_is_repeatable():
+    a = topo_trace_probe("parking_lot", seed=2, duration=2.0)
+    b = topo_trace_probe("parking_lot", seed=2, duration=2.0)
     assert a == b

@@ -5,10 +5,13 @@ import pytest
 from repro.harness.cli import main as cli_main
 from repro.harness.registry import get_scenario, list_scenarios
 from repro.harness.runner import (
+    CACHE_ENV,
     RunRecord,
+    SqliteSweepCache,
     SweepCache,
     code_version,
     expand_grid,
+    make_cache,
     run_matrix,
 )
 
@@ -30,6 +33,9 @@ class TestRegistry:
             "estimation_accuracy",
             "selfish_receiver",
             "reliability_modes",
+            "parking_lot",
+            "reverse_path_chain",
+            "hetero_sla",
         } <= names
 
     def test_unknown_scenario_raises_with_candidates(self):
@@ -220,6 +226,82 @@ class TestSweepCache:
         assert not records[0].cached
 
 
+class TestSqliteSweepCache:
+    GRID = {"mode": ("tfrc",), "lying": (False,)}
+    BASE = dict(duration=2.0, warmup=0.5)
+
+    def test_round_trip_and_shared_key(self, tmp_path):
+        cache = SqliteSweepCache(tmp_path / "results.db")
+        record = RunRecord(
+            scenario="af_assurance",
+            params={"protocol": "tcp", "seed": 0},
+            result={"achieved": 1.0},
+        )
+        assert cache.load(record.scenario, record.params) is None
+        cache.store(record)
+        loaded = cache.load(record.scenario, record.params)
+        assert loaded == record and loaded.cached
+        # both backends hash the identical memo contract
+        assert cache.key("af_assurance", record.params) == SweepCache(
+            tmp_path
+        ).key("af_assurance", record.params)
+
+    def test_env_selects_sqlite_backend(self, tmp_path, monkeypatch):
+        db = tmp_path / "sweep.db"
+        monkeypatch.setenv(CACHE_ENV, f"sqlite:{db}")
+        first = run_matrix(
+            "selfish_receiver", self.GRID, base=self.BASE,
+            cache_dir=tmp_path / "ignored-dir",
+        )
+        assert not first[0].cached
+        assert db.exists()
+        assert not (tmp_path / "ignored-dir").exists()
+        second = run_matrix(
+            "selfish_receiver", self.GRID, base=self.BASE,
+            cache_dir=tmp_path / "ignored-dir",
+        )
+        assert second[0].cached and second == first
+
+    def test_sqlite_file_is_shareable(self, tmp_path, monkeypatch):
+        # a db produced by one "host" (directory) hits from another
+        db = tmp_path / "ci" / "results.db"
+        monkeypatch.setenv(CACHE_ENV, f"sqlite:{db}")
+        run_matrix("selfish_receiver", self.GRID, base=self.BASE,
+                   cache_dir=tmp_path / "a")
+        copied = tmp_path / "elsewhere.db"
+        copied.write_bytes(db.read_bytes())
+        monkeypatch.setenv(CACHE_ENV, f"sqlite:{copied}")
+        records = run_matrix("selfish_receiver", self.GRID, base=self.BASE,
+                             cache_dir=tmp_path / "b")
+        assert records[0].cached
+
+    def test_no_cache_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, f"sqlite:{tmp_path / 'x.db'}")
+        assert make_cache(None) is None
+
+    def test_unset_env_uses_directory_backend(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert isinstance(make_cache(tmp_path), SweepCache)
+
+    def test_bad_env_values_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, "sqlite:")
+        with pytest.raises(ValueError, match="needs a path"):
+            make_cache(tmp_path)
+        monkeypatch.setenv(CACHE_ENV, "redis:localhost")
+        with pytest.raises(ValueError, match="unknown"):
+            make_cache(tmp_path)
+
+    def test_corrupt_blob_is_a_miss(self, tmp_path):
+        import sqlite3
+
+        cache = SqliteSweepCache(tmp_path / "results.db")
+        record = RunRecord(scenario="s", params={"seed": 0}, result=1)
+        cache.store(record)
+        with sqlite3.connect(cache.path) as conn:
+            conn.execute("UPDATE results SET payload = ?", (b"garbage",))
+        assert cache.load("s", {"seed": 0}) is None
+
+
 class TestCli:
     def test_list_names_scenarios(self, capsys):
         assert cli_main(["list"]) == 0
@@ -284,6 +366,72 @@ class TestCli:
         )
         assert code == 2
         assert "missing required parameter" in capsys.readouterr().err
+
+    # bench flag plumbing: every error path below fails *before* the
+    # measurement suite runs, so these stay tier-1 fast
+    def test_bench_update_current_requires_existing_record(self, capsys, tmp_path):
+        code = cli_main(
+            ["bench", "--update-current", "--output", str(tmp_path / "none.json")]
+        )
+        assert code == 2
+        assert "no committed record" in capsys.readouterr().err
+
+    def test_bench_update_current_excludes_rebaseline(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "bench", "--update-current", "--rebaseline",
+                "--output", str(tmp_path / "none.json"),
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bench_rebaseline_excludes_check(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "bench", "--rebaseline", "--check",
+                "--output", str(tmp_path / "none.json"),
+            ]
+        )
+        assert code == 2
+        assert "read-only" in capsys.readouterr().err
+
+    def test_bench_update_current_excludes_check(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "bench", "--update-current", "--check",
+                "--output", str(tmp_path / "none.json"),
+            ]
+        )
+        assert code == 2
+        assert "two invocations" in capsys.readouterr().err
+
+    def test_bench_update_current_tolerates_null_baseline(self, tmp_path):
+        # a record written before any baseline exists stores
+        # "baseline": null; a later write must not crash on it
+        from repro.harness import bench as bench_mod
+
+        path = tmp_path / "bench.json"
+        metrics = {"engine_events": {"rate": 100.0, "seconds": 1.0}}
+        first = bench_mod.write_record(path, metrics)
+        assert first["baseline"] is None
+        second = bench_mod.write_record(
+            path, {"engine_events": {"rate": 120.0, "seconds": 0.8}}
+        )
+        assert second["baseline"] is None
+        assert second["current"]["metrics"]["engine_events"]["rate"] == 120.0
+
+    def test_bench_check_requires_existing_record(self, capsys, tmp_path):
+        code = cli_main(
+            ["bench", "--check", "--output", str(tmp_path / "none.json")]
+        )
+        assert code == 2
+        assert "no committed record" in capsys.readouterr().err
+
+    def test_bench_help_documents_machine_relative_caveat(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "--help"])
+        assert "machine-relative" in capsys.readouterr().out
 
 
 class TestRunRecord:

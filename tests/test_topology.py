@@ -180,3 +180,74 @@ class TestBuilders:
         s = star(Simulator(), n_leaves=4)
         assert len(s.leaves) == 4
         assert s.hub.name == "hub"
+
+
+class TestChainRouting:
+    def test_route_tables_follow_the_line(self):
+        c = chain(Simulator(), n_hops=4)
+        # every node forwards toward the destination along the line,
+        # one hop at a time, in both directions
+        for i in range(5):
+            for j in range(5):
+                if i == j:
+                    continue
+                expected = f"h{i + 1}" if j > i else f"h{i - 1}"
+                assert c.net.node(f"h{i}").next_hop[f"h{j}"] == expected
+
+    def test_duplex_links_are_symmetric(self):
+        c = chain(Simulator(), n_hops=3, rate=2e6, delay=0.007)
+        for i in range(3):
+            fwd = c.net.link(f"h{i}", f"h{i + 1}")
+            back = c.net.link(f"h{i + 1}", f"h{i}")
+            assert fwd.rate_bps == back.rate_bps == 2e6
+            assert fwd.delay == back.delay == 0.007
+            assert fwd.queue is not back.queue  # independent queues
+
+    def test_end_to_end_path_delay_symmetric(self):
+        c = chain(Simulator(), n_hops=3, delay=0.01)
+        assert c.net.path_delay("h0", "h3") == pytest.approx(0.03)
+        assert c.net.path_delay("h3", "h0") == pytest.approx(0.03)
+
+    def test_hops_are_the_forward_links(self):
+        c = chain(Simulator(), n_hops=3)
+        assert [(l.src.name, l.dst.name) for l in c.hops] == [
+            ("h0", "h1"), ("h1", "h2"), ("h2", "h3")
+        ]
+
+
+class TestStarRouting:
+    def test_leaf_to_leaf_routes_via_hub(self):
+        s = star(Simulator(), n_leaves=4)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert s.net.node(f"m{i}").next_hop[f"m{j}"] == "hub"
+
+    def test_hub_routes_directly_to_each_leaf(self):
+        s = star(Simulator(), n_leaves=3)
+        for i in range(3):
+            assert s.net.node("hub").next_hop[f"m{i}"] == f"m{i}"
+
+    def test_duplex_spokes_are_symmetric(self):
+        s = star(Simulator(), n_leaves=3, rate=1e6, delay=0.02)
+        for i in range(3):
+            out = s.net.link("hub", f"m{i}")
+            back = s.net.link(f"m{i}", "hub")
+            assert out.rate_bps == back.rate_bps == 1e6
+            assert out.delay == back.delay == 0.02
+            assert out.queue is not back.queue
+
+    def test_leaf_to_leaf_delay_is_two_spokes(self):
+        s = star(Simulator(), n_leaves=2, delay=0.02)
+        assert s.net.path_delay("m0", "m1") == pytest.approx(0.04)
+
+    def test_leaf_to_leaf_forwarding_delivers(self):
+        sim = Simulator()
+        s = star(sim, n_leaves=3)
+        sink = Sink(sim).attach(s.net.node("m2"), "f")
+        s.net.node("m0").send(
+            Packet(src="m0", dst="m2", flow_id="f", size=100)
+        )
+        sim.run()
+        assert len(sink.got) == 1
+        assert sink.got[0][1].hops == 2  # via the hub
