@@ -1,0 +1,231 @@
+"""P2 — paper-style tables for the PR 3 multi-bottleneck scenarios.
+
+Regenerates one table per spec-built DiffServ workload (closing the
+ROADMAP open item that nothing produced tables for them):
+
+* ``parking_lot`` — the T1 question across *two* conditioned RIO
+  bottlenecks in series, per-hop TCP cross bursts.  Expected shape:
+  TCP's achieved/target ratio erodes as ``g`` grows (multiplicative
+  per-domain loss), gTFRC/QTPAF hold ≈ 1.0 with near-zero green drops
+  on both hops.
+* ``reverse_path_chain`` — greedy TCP against the assured flow's
+  *feedback* channel on a duplex RIO chain.  Expected shape: reverse
+  drops grow with the burst size while the gTFRC floor still holds.
+* ``hetero_sla`` — mixed committed rates inside one AF class.
+  Expected shape: every guarantee holds regardless of size (min ratio
+  ≈ 1) and Jain fairness over the assurance ratios stays near 1.
+"""
+
+import pytest
+
+from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.harness.runner import run_matrix
+from repro.harness.tables import format_table
+
+pytestmark = pytest.mark.slow
+
+PL_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+PL_TARGETS = (2e6, 4e6, 6e6)
+PL_CONFIG = dict(n_cross_a=4, n_cross_b=4, seed=3)
+
+RP_PROTOCOLS = ("tfrc", "gtfrc", "qtpaf")
+RP_BURSTS = (2, 6)
+RP_CONFIG = dict(seed=3)
+
+HS_PROTOCOLS = ("tfrc", "gtfrc", "qtpaf")
+HS_MIXES = ("1,2,4", "2,2,2", "1,1,6")
+HS_CONFIG = dict(n_cross=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def parking_lot():
+    records = run_matrix(
+        "parking_lot",
+        {"protocol": PL_PROTOCOLS, "target_bps": PL_TARGETS},
+        base=PL_CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {
+        (r.params["protocol"], r.params["target_bps"]): r.result
+        for r in records
+    }
+
+
+@pytest.fixture(scope="module")
+def reverse_path():
+    records = run_matrix(
+        "reverse_path_chain",
+        {"protocol": RP_PROTOCOLS, "n_reverse": RP_BURSTS},
+        base=RP_CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {
+        (r.params["protocol"], r.params["n_reverse"]): r.result
+        for r in records
+    }
+
+
+@pytest.fixture(scope="module")
+def hetero():
+    records = run_matrix(
+        "hetero_sla",
+        {"protocol": HS_PROTOCOLS, "targets_mbps": HS_MIXES},
+        base=HS_CONFIG,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE,
+    )
+    return {
+        (r.params["protocol"], r.params["targets_mbps"]): r.result
+        for r in records
+    }
+
+
+# ----------------------------------------------------------------------
+# parking lot
+# ----------------------------------------------------------------------
+def test_p2_parking_lot_table(parking_lot):
+    rows = []
+    for target in PL_TARGETS:
+        for proto in PL_PROTOCOLS:
+            r = parking_lot[(proto, target)]
+            rows.append(
+                [
+                    f"{target / 1e6:.0f}",
+                    proto,
+                    r.achieved_bps / 1e6,
+                    r.ratio,
+                    r.hop1_green_drop_ratio,
+                    r.hop2_green_drop_ratio,
+                    r.cross_a_bps / 1e6,
+                    r.cross_b_bps / 1e6,
+                ]
+            )
+    emit_table(
+        "p2_parking_lot",
+        format_table(
+            ["g (Mb/s)", "protocol", "achieved (Mb/s)", "ratio",
+             "green drop A", "green drop B", "cross A (Mb/s)",
+             "cross B (Mb/s)"],
+            rows,
+            title="P2a: parking-lot AF assurance "
+                  "(two 10 Mb/s RIO hops in series, 4+4 TCP cross)",
+        ),
+    )
+
+
+def test_p2_parking_lot_tcp_erodes_across_domains(parking_lot):
+    ratios = [parking_lot[("tcp", t)].ratio for t in PL_TARGETS]
+    assert ratios[-1] < ratios[0]
+    assert ratios[-1] < 0.95  # the reservation is not honoured
+
+
+def test_p2_parking_lot_gtfrc_holds_end_to_end(parking_lot):
+    for proto in ("gtfrc", "qtpaf"):
+        for target in PL_TARGETS:
+            r = parking_lot[(proto, target)]
+            assert r.ratio >= 0.95, (proto, target)
+            assert r.hop1_green_drop_ratio < 0.01
+            assert r.hop2_green_drop_ratio < 0.01
+
+
+def test_p2_parking_lot_conditioned_beats_tcp_at_high_g(parking_lot):
+    target = PL_TARGETS[-1]
+    tcp = parking_lot[("tcp", target)].ratio
+    for proto in ("gtfrc", "qtpaf"):
+        assert parking_lot[(proto, target)].ratio > tcp
+
+
+# ----------------------------------------------------------------------
+# reverse path
+# ----------------------------------------------------------------------
+def test_p2_reverse_path_table(reverse_path):
+    rows = []
+    for burst in RP_BURSTS:
+        for proto in RP_PROTOCOLS:
+            r = reverse_path[(proto, burst)]
+            rows.append(
+                [
+                    burst,
+                    proto,
+                    r.achieved_bps / 1e6,
+                    r.ratio,
+                    r.reverse_total_bps / 1e6,
+                    r.feedback_received,
+                    r.reverse_drop_ratio,
+                ]
+            )
+    emit_table(
+        "p2_reverse_path",
+        format_table(
+            ["n_reverse", "protocol", "achieved (Mb/s)", "ratio",
+             "reverse (Mb/s)", "feedback rx", "rev drop"],
+            rows,
+            title="P2b: reverse-path congestion on the duplex AF chain "
+                  "(TCP bursts against the feedback channel)",
+        ),
+    )
+
+
+def test_p2_reverse_path_floor_survives_feedback_attack(reverse_path):
+    for proto in ("gtfrc", "qtpaf"):
+        for burst in RP_BURSTS:
+            r = reverse_path[(proto, burst)]
+            assert r.feedback_received > 100, (proto, burst)
+            assert r.ratio >= 0.9, (proto, burst)
+
+
+def test_p2_reverse_path_drops_grow_with_burst(reverse_path):
+    for proto in RP_PROTOCOLS:
+        light = reverse_path[(proto, RP_BURSTS[0])]
+        heavy = reverse_path[(proto, RP_BURSTS[-1])]
+        assert heavy.reverse_drop_ratio > light.reverse_drop_ratio
+        assert heavy.reverse_total_bps > 0
+
+
+# ----------------------------------------------------------------------
+# heterogeneous SLAs
+# ----------------------------------------------------------------------
+def test_p2_hetero_sla_table(hetero):
+    rows = []
+    for mix in HS_MIXES:
+        for proto in HS_PROTOCOLS:
+            r = hetero[(proto, mix)]
+            rows.append(
+                [
+                    mix,
+                    proto,
+                    r.total_assured_bps / 1e6,
+                    r.min_ratio,
+                    r.max_ratio,
+                    r.mean_ratio,
+                    r.jain_fairness,
+                    r.cross_total_bps / 1e6,
+                ]
+            )
+    emit_table(
+        "p2_hetero_sla",
+        format_table(
+            ["targets (Mb/s)", "protocol", "assured (Mb/s)", "min ratio",
+             "max ratio", "mean ratio", "Jain", "cross (Mb/s)"],
+            rows,
+            title="P2c: heterogeneous SLAs in one AF class "
+                  "(10 Mb/s RIO, 4 TCP cross)",
+        ),
+    )
+
+
+def test_p2_hetero_small_guarantees_are_safe(hetero):
+    # RIO cannot tell whose profile a green packet belongs to, so a
+    # small reservation must not be starved next to a big one
+    for proto in ("gtfrc", "qtpaf"):
+        for mix in HS_MIXES:
+            r = hetero[(proto, mix)]
+            assert r.min_ratio >= 0.9, (proto, mix)
+
+
+def test_p2_hetero_fairness_over_ratios(hetero):
+    for proto in ("gtfrc", "qtpaf"):
+        for mix in HS_MIXES:
+            assert hetero[(proto, mix)].jain_fairness >= 0.97, (proto, mix)

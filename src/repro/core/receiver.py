@@ -26,6 +26,7 @@ from repro.sim.node import Agent
 from repro.sim.packet import (
     Packet,
     PacketKind,
+    PacketPool,
     SackFeedbackHeader,
     TfrcDataHeader,
     TfrcFeedbackHeader,
@@ -85,6 +86,7 @@ class QtpReceiver(Agent):
             self._buffer = DeliveryBuffer(self._deliver_app, gap_timeout)
         self._gap_timer = Timer(sim, self._poll_buffer)
         self._feedback_timer = Timer(sim, self._on_feedback_timer)
+        self._pool = PacketPool.of(sim)
         self._peer = ""
         self._rtt_hint = 0.0
         self._segment_size = profile.segment_size
@@ -128,6 +130,10 @@ class QtpReceiver(Agent):
             if self.recorder is not None:
                 self.recorder.record(self.sim.now, packet)
             self._handle_delivery(header.seq, packet)
+        elif self._pool is not None:
+            # duplicate: neither buffered nor delivered, so it is
+            # terminal right here
+            self._pool.release(packet)
         if self._last_feedback_time is None or new_event:
             self._send_feedback()
         elif not self._feedback_timer.armed:
@@ -137,7 +143,13 @@ class QtpReceiver(Agent):
         if self._buffer is None:
             self._deliver_app(packet)
             return
+        duplicates_before = self._buffer.duplicates
         self._buffer.push(seq, packet, self.sim.now)
+        if self._buffer.duplicates > duplicates_before and self._pool is not None:
+            # the buffer rejected it (seq below the delivery floor, or
+            # already pending): neither buffered nor delivered, so it
+            # is terminal right here
+            self._pool.release(packet)
         if self._buffer.waiting and not self._gap_timer.armed:
             self._gap_timer.restart(self._gap_poll_interval())
 
@@ -146,6 +158,9 @@ class QtpReceiver(Agent):
         self.app_latencies.append(self.sim.now - packet.created_at)
         if self.on_deliver is not None:
             self.on_deliver(packet)
+        elif self._pool is not None:
+            # terminal sink (no app callback that might retain): recycle
+            self._pool.release(packet)
 
     def _poll_buffer(self) -> None:
         if self._buffer is None:
@@ -199,15 +214,31 @@ class QtpReceiver(Agent):
         else:
             header = self._build_tfrc_feedback(elapsed)
             size = FEEDBACK_SIZE + self.profile.feedback_padding
-        packet = Packet(
-            src=self.node.name,
-            dst=self._peer,
-            flow_id=self.flow_id,
-            size=size,
-            kind=PacketKind.FEEDBACK,
-            header=header,
-            created_at=self.sim.now,
+        # report headers are built (and possibly mangled) fresh; the
+        # pool recycles just the Packet shell around them
+        pool = self._pool
+        packet = (
+            pool.acquire(
+                type(header), self.node.name, self._peer, self.flow_id,
+                size, PacketKind.FEEDBACK, self.sim.now,
+            )
+            if pool is not None
+            else None
         )
+        if packet is not None:
+            packet.header = header
+        else:
+            packet = Packet(
+                src=self.node.name,
+                dst=self._peer,
+                flow_id=self.flow_id,
+                size=size,
+                kind=PacketKind.FEEDBACK,
+                header=header,
+                created_at=self.sim.now,
+            )
+            if pool is not None:
+                packet.pooled = True
         self.send(packet)
         self.feedback_sent += 1
         self._bytes_since_feedback = 0

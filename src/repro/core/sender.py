@@ -35,6 +35,7 @@ from repro.sim.packet import (
     AppDataHeader,
     Packet,
     PacketKind,
+    PacketPool,
     SackFeedbackHeader,
     TfrcDataHeader,
     TfrcFeedbackHeader,
@@ -91,6 +92,7 @@ class QtpSender(Agent):
         self._running = False
         self._send_event = None
         self._nofeedback = Timer(sim, self._on_nofeedback)
+        self._pool = PacketPool.of(sim)
         self._last_feedback_arrival: Optional[float] = None
         self._x_recv_sender = 0.0
         self._forward_cache = 0
@@ -233,22 +235,42 @@ class QtpSender(Agent):
     ) -> None:
         # the forward point is recomputed per feedback, not per packet
         forward = self._forward_cache if self.scoreboard is not None else 0
-        header = TfrcDataHeader(
-            seq=seq,
-            timestamp=self.sim.now,
-            rtt_estimate=self.controller.current_rtt or 0.0,
-            forward_ack=forward,
+        now = self.sim.now
+        src = self.node.name if self.node else "?"
+        rtt = self.controller.current_rtt or 0.0
+        pool = self._pool
+        packet = (
+            pool.acquire(
+                TfrcDataHeader, src, self.dst, self.flow_id,
+                size, PacketKind.DATA, now, app=app,
+            )
+            if pool is not None
+            else None
         )
-        packet = Packet(
-            src=self.node.name if self.node else "?",
-            dst=self.dst,
-            flow_id=self.flow_id,
-            size=size,
-            kind=PacketKind.DATA,
-            header=header,
-            created_at=self.sim.now,
-            app=app,
-        )
+        if packet is not None:
+            header = packet.header
+            header.seq = seq
+            header.timestamp = now
+            header.rtt_estimate = rtt
+            header.forward_ack = forward
+        else:
+            packet = Packet(
+                src=src,
+                dst=self.dst,
+                flow_id=self.flow_id,
+                size=size,
+                kind=PacketKind.DATA,
+                header=TfrcDataHeader(
+                    seq=seq,
+                    timestamp=now,
+                    rtt_estimate=rtt,
+                    forward_ack=forward,
+                ),
+                created_at=now,
+                app=app,
+            )
+            if pool is not None:
+                packet.pooled = True
         self.sent_packets += 1
         self.sent_bytes += size
         self.send(packet)
@@ -263,6 +285,10 @@ class QtpSender(Agent):
             self._on_sack_feedback(header)
         elif isinstance(header, TfrcFeedbackHeader):
             self._on_tfrc_feedback(header)
+        else:
+            return
+        if self._pool is not None:  # report fully consumed: recycle
+            self._pool.release(packet)
 
     def _rtt_sample(self, timestamp_echo: float, elapsed: float) -> float:
         sample = self.sim.now - timestamp_echo - elapsed

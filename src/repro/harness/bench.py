@@ -4,10 +4,12 @@ Single-run speed is a first-class, continuously measured property of
 this repository (ROADMAP north star: "runs as fast as the hardware
 allows").  This module provides
 
-* a **pinned benchmark suite** (:data:`BENCHMARKS`) covering the three
-  hot layers of the simulation core — the engine event loop, the
-  packet/queue forwarding path and an end-to-end T1 scenario run —
-  each reported as a rate (higher is better);
+* a **pinned benchmark suite** (:data:`BENCHMARKS`) covering the hot
+  layers of the simulation core — the engine event loop, the
+  packet/queue forwarding path (both the construction and the pooled
+  lifecycle, plus a saturated-link end-to-end micro), an end-to-end T1
+  scenario run and warm-pool sweep dispatch — each reported as a rate
+  (higher is better);
 * the ``python -m repro.harness bench`` command (see
   :mod:`repro.harness.cli`) which runs the suite, prints a table and
   writes ``BENCH_core.json``; ``bench --check`` instead compares a
@@ -88,6 +90,142 @@ def _bench_packet_alloc(n_packets: int = 120_000) -> float:
     return float(n_packets)
 
 
+def _bench_packet_pool(n_packets: int = 120_000) -> float:
+    """Packet-layer micro: pooled acquire/refill/release lifecycle rate.
+
+    The ``packet_alloc`` successor: the same logical work — one data
+    packet with a filled TFRC header per iteration — through the
+    :class:`~repro.sim.packet.PacketPool` fast path agents use.  With
+    ``REPRO_NO_POOL=1`` it degrades to the construction path, so the
+    kill-switch shows up in the numbers instead of breaking the suite.
+    """
+    from repro.sim.engine import Simulator
+    from repro.sim.packet import Packet, PacketKind, PacketPool, TfrcDataHeader
+
+    sim = Simulator(seed=1)
+    pool = PacketPool.of(sim)
+    data = PacketKind.DATA
+    for seq in range(n_packets):
+        t = 0.001 * seq
+        packet = (
+            pool.acquire(TfrcDataHeader, "s0", "d0", "f", 1000, data, t)
+            if pool is not None
+            else None
+        )
+        if packet is None:
+            packet = Packet(
+                src="s0",
+                dst="d0",
+                flow_id="f",
+                size=1000,
+                kind=data,
+                header=TfrcDataHeader(seq=seq, timestamp=t, rtt_estimate=0.05),
+                created_at=t,
+            )
+            if pool is not None:
+                packet.pooled = True
+        else:
+            header = packet.header
+            header.seq = seq
+            header.timestamp = t
+            header.rtt_estimate = 0.05
+            header.forward_ack = 0
+        if pool is not None:
+            pool.release(packet)
+    return float(n_packets)
+
+
+def _bench_link_saturation(n_packets: int = 40_000) -> float:
+    """Forwarding micro: a saturated link end to end through the engine.
+
+    A 32-packet self-clocked window over one 100 Mbit/s DropTail link:
+    every delivery recycles the packet and injects the next, so the
+    serialization pipeline never idles.  Exercises exactly the pooled
+    hot path — packet acquire/release, ``schedule_pooled`` transmission
+    and delivery events, queue admission — with none of the transport
+    arithmetic on top.
+    """
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+    from repro.sim.node import Agent, Node
+    from repro.sim.packet import Packet, PacketKind, PacketPool, TfrcDataHeader
+    from repro.sim.queues import DropTailQueue
+
+    sim = Simulator(seed=1)
+    a, b = Node(sim, "a"), Node(sim, "b")
+    Link(sim, a, b, rate_bps=100e6, delay=0.0005,
+         queue=DropTailQueue(capacity_packets=64))
+    pool = PacketPool.of(sim)
+    data = PacketKind.DATA
+    sent = [0]
+
+    def send_one() -> None:
+        seq = sent[0]
+        sent[0] = seq + 1
+        now = sim.now
+        packet = (
+            pool.acquire(TfrcDataHeader, "a", "b", "f", 1000, data, now)
+            if pool is not None
+            else None
+        )
+        if packet is None:
+            packet = Packet(
+                src="a", dst="b", flow_id="f", size=1000, kind=data,
+                header=TfrcDataHeader(seq=seq, timestamp=now, rtt_estimate=0.0),
+                created_at=now,
+            )
+            if pool is not None:
+                packet.pooled = True
+        else:
+            header = packet.header
+            header.seq = seq
+            header.timestamp = now
+            header.rtt_estimate = 0.0
+            header.forward_ack = 0
+        a.send(packet)
+
+    class _Sink(Agent):
+        def receive(self, packet):  # noqa: D102 - bench sink
+            if pool is not None:
+                pool.release(packet)
+            if sent[0] < n_packets:
+                send_one()
+
+    _Sink(sim).attach(b, "f")
+    for _ in range(32):
+        send_one()
+    sim.run()
+    return float(n_packets)
+
+
+def _bench_sweep_warm(n_runs: int = 4) -> float:
+    """Sweep-dispatch macro: a small sweep through the warm worker pool.
+
+    ``run_matrix`` with two workers and no cache, deliberately *small*
+    runs: per-call overhead (pool spawn, worker warmup, IPC setup) is
+    the quantity under test, and a short sweep is where it shows.  The
+    first repetition pays the spawn, later repetitions reuse the pool —
+    best-of-repeats therefore reports the *warm* dispatch rate that
+    back-to-back sweeps (bench tables, CI loops) experience.  The
+    frozen baseline for this metric was measured with the pool torn
+    down between calls (cold spawn every time).
+    """
+    from repro.harness.runner import run_matrix
+
+    records = run_matrix(
+        "af_assurance",
+        {"protocol": ("qtpaf",)},
+        base=dict(
+            target_bps=4e6, n_cross=1, duration=0.5, warmup=0.1,
+            bottleneck_bps=4e6,
+        ),
+        seeds=range(n_runs),
+        workers=2,
+        cache_dir=None,
+    )
+    return float(len(records))
+
+
 def _bench_rio_queue(n_packets: int = 120_000) -> float:
     """Queue micro: packets/s through a RIO queue (enqueue+dequeue)."""
     import random
@@ -159,9 +297,12 @@ class BenchSpec:
 BENCHMARKS: List[BenchSpec] = [
     BenchSpec("engine_events", _bench_engine_events, "events/s"),
     BenchSpec("packet_alloc", _bench_packet_alloc, "packets/s"),
+    BenchSpec("packet_pool", _bench_packet_pool, "packets/s"),
+    BenchSpec("link_saturation", _bench_link_saturation, "packets/s"),
     BenchSpec("rio_queue", _bench_rio_queue, "packets/s"),
     BenchSpec("loss_estimator", _bench_loss_estimator, "packets/s"),
     BenchSpec("t1_scenario", _bench_t1_scenario, "runs/s"),
+    BenchSpec("sweep_warm", _bench_sweep_warm, "runs/s"),
 ]
 
 
@@ -229,6 +370,27 @@ def write_record(
     }
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record
+
+
+def append_history(directory: Path, record: dict) -> Path:
+    """Write a timestamped snapshot of ``record`` under ``directory``.
+
+    ``bench --history <dir>`` calls this after every record write, so a
+    directory of ``BENCH_<UTC timestamp>.json`` files accumulates the
+    perf trajectory across runs (nightly CI uploads it as an artifact).
+    Snapshots are never overwritten: a same-second collision gets a
+    numeric suffix.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    path = directory / f"BENCH_{stamp}.json"
+    suffix = 1
+    while path.exists():
+        path = directory / f"BENCH_{stamp}_{suffix}.json"
+        suffix += 1
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def check_regression(

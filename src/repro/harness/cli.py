@@ -10,6 +10,7 @@ Usage::
     python -m repro.harness bench
     python -m repro.harness bench --check
     python -m repro.harness bench --update-current
+    python -m repro.harness bench --update-current --history bench-history/
 
 ``run`` executes the scenario over its sweep grid (the registered
 default when no ``--sweep`` is given), memoizing results under
@@ -24,7 +25,9 @@ baseline section).  ``bench --check`` instead compares a fresh run
 against the committed numbers and exits non-zero on a >20% slowdown;
 ``bench --update-current`` refreshes only the ``current`` section —
 rates are machine-relative, so a new host refreshes locally before
-checking.
+checking.  ``bench --history <dir>`` additionally appends a
+timestamped ``BENCH_<utc>.json`` snapshot of every written record, so
+a perf trajectory accumulates (the nightly workflow uploads it).
 """
 
 from __future__ import annotations
@@ -155,6 +158,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="repetitions per benchmark (default: per-benchmark setting)",
     )
+    bench.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also append a timestamped BENCH_<utc>.json snapshot of the "
+        "written record under DIR, accumulating a perf trajectory "
+        "(write runs only; incompatible with the read-only --check)",
+    )
     return parser
 
 
@@ -234,6 +246,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --rebaseline writes and --check is read-only; "
               "run them as two invocations", file=sys.stderr)
         return 2
+    if args.history is not None and args.check:
+        print("error: --history snapshots written records and --check is "
+              "read-only; run them as two invocations", file=sys.stderr)
+        return 2
     if args.update_current and committed is None:
         print(f"error: no committed record at {path} to update; run a plain "
               "`bench` first", file=sys.stderr)
@@ -286,11 +302,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"perf check passed (within {bench_mod.REGRESSION_TOLERANCE:.0%} "
               f"of {path})")
         return 0
-    bench_mod.write_record(path, fresh, baseline=baseline)
+    record = bench_mod.write_record(path, fresh, baseline=baseline)
     if args.update_current:
         print(f"[current section refreshed in {path}; baseline untouched]")
     else:
         print(f"[saved to {path}]")
+    if args.history is not None:
+        snapshot = bench_mod.append_history(args.history, record)
+        print(f"[history snapshot: {snapshot}]")
     return 0
 
 

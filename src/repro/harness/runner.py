@@ -1,4 +1,4 @@
-"""Parallel sweep runner with an on-disk result cache.
+"""Parallel sweep runner with an on-disk result cache and warm workers.
 
 :func:`run_matrix` fans a parameter grid for one registered scenario
 out across ``multiprocessing`` workers, collects structured
@@ -6,6 +6,16 @@ out across ``multiprocessing`` workers, collects structured
 worker completion order), and memoizes every completed run on disk
 keyed by ``(scenario, params, seed, code_version)`` — re-running an
 unchanged sweep is free.
+
+The worker pool is **warm** (PR 4): one process-global pool, keyed by
+``(worker count, code_version)``, persists across ``run_matrix`` calls,
+so back-to-back sweeps (benchmark tables, CI loops) pay pool spawn and
+interpreter/package import once per process instead of once per call.
+:func:`warm_pool_stats` exposes created/reused counters (tests assert
+reuse), :func:`shutdown_warm_pool` tears the pool down (also registered
+``atexit``), and any exception escaping a parallel section discards the
+pool so a broken worker set is never reused.  Records cross the IPC
+boundary with compact positional pickling (``RunRecord.__reduce__``).
 
 Determinism guarantees:
 
@@ -25,6 +35,7 @@ invalidates stale results.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import hashlib
 import itertools
@@ -33,6 +44,7 @@ import multiprocessing
 import os
 import pickle
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,6 +71,8 @@ __all__ = [
     "expand_grid",
     "make_cache",
     "run_matrix",
+    "shutdown_warm_pool",
+    "warm_pool_stats",
 ]
 
 #: Environment variable selecting an alternate cache backend for
@@ -90,6 +104,34 @@ class RunRecord:
     def seed(self) -> Optional[int]:
         """The run's seed, when one was part of its parameters."""
         return self.params.get("seed")
+
+    def __reduce__(self):
+        # positional tuple instead of the default class+__dict__ form:
+        # no field-name strings per record, so results ship back from
+        # workers (and into the caches) with a smaller, faster pickle
+        return (
+            _rebuild_run_record,
+            (
+                self.scenario,
+                self.params,
+                self.result,
+                self.elapsed,
+                self.cached,
+                self.worker_pid,
+            ),
+        )
+
+
+def _rebuild_run_record(
+    scenario: str,
+    params: Dict[str, Any],
+    result: Any,
+    elapsed: float,
+    cached: bool,
+    worker_pid: int,
+) -> RunRecord:
+    """Unpickle helper for :meth:`RunRecord.__reduce__` (top-level)."""
+    return RunRecord(scenario, params, result, elapsed, cached, worker_pid)
 
 
 # ----------------------------------------------------------------------
@@ -237,6 +279,11 @@ class SqliteSweepCache:
         ) as conn:
             if not self._schema_ready:
                 conn.execute(self._SCHEMA)
+                # WAL keeps concurrent sweep processes from tripping
+                # over each other's locks (writers don't block readers,
+                # and busy-waits resolve fast); sqlite silently falls
+                # back where the filesystem cannot support it
+                conn.execute("PRAGMA journal_mode=WAL").fetchone()
                 self._schema_ready = True
             with conn:  # one transaction per cache operation
                 yield conn
@@ -301,6 +348,131 @@ def make_cache(cache_dir: Optional[Path]):
     raise ValueError(
         f"unknown {CACHE_ENV} backend {backend!r} (known: sqlite:<path>)"
     )
+
+
+# ----------------------------------------------------------------------
+# warm worker pool
+# ----------------------------------------------------------------------
+#: The process-global warm pool:
+#: ``{"key": (n_workers, code_version, scenario names), "pool": Pool,
+#: "leases": int}``.  ``leases`` counts callers currently consuming the
+#: pool, so a concurrent ``run_matrix`` with a different key never
+#: terminates a pool another thread is iterating — it gets a transient
+#: per-call pool instead (the pre-warm-pool behaviour).
+_WARM_POOL: Optional[Dict[str, Any]] = None
+_WARM_LOCK = threading.Lock()
+_WARM_POOL_STATS = {"created": 0, "reused": 0, "transient": 0}
+
+
+def warm_pool_stats() -> Dict[str, int]:
+    """Warm-pool lifecycle counters.
+
+    ``created``: warm pools forked; ``reused``: calls served by an
+    existing warm pool (the observable contract the warm-worker tests
+    pin); ``transient``: per-call pools handed to concurrent callers
+    whose key mismatched a warm pool that was in use.
+    """
+    return dict(_WARM_POOL_STATS)
+
+
+def shutdown_warm_pool() -> None:
+    """Terminate and forget the warm pool (idempotent; ``atexit`` hook)."""
+    global _WARM_POOL
+    with _WARM_LOCK:
+        state, _WARM_POOL = _WARM_POOL, None
+    if state is not None:
+        state["pool"].terminate()
+        state["pool"].join()
+
+
+atexit.register(shutdown_warm_pool)
+
+
+def _lease_pool(n_workers: int) -> Tuple[Dict[str, Any], bool]:
+    """Lease a pool for one parallel section: ``(state, transient)``.
+
+    The warm pool is keyed by ``(n_workers, code_version(), registered
+    scenario names)``: a different worker count, an edited ``repro``
+    source tree or a scenario registered since the pool was forked
+    retires the old pool — workers carry the interpreter image of their
+    fork moment, and a stale image must never serve runs for new code
+    or resolve a scenario it has never seen.  A retirement only happens
+    when no other caller holds a lease; otherwise this call gets a
+    ``transient`` pool that :func:`_release_pool` tears down.
+
+    The pool is deliberately sized to ``n_workers`` even when the
+    current miss set is smaller: a task-count-dependent size would
+    change the key between calls and defeat the warm reuse that is the
+    point of keeping the pool alive.
+    """
+    from repro.harness.registry import list_scenarios
+
+    global _WARM_POOL
+    key = (
+        n_workers,
+        code_version(),
+        tuple(spec.name for spec in list_scenarios()),
+    )
+    ctx = multiprocessing.get_context()
+    retired = None
+    with _WARM_LOCK:
+        state = _WARM_POOL
+        if state is not None and state["key"] == key:
+            state["leases"] += 1
+            _WARM_POOL_STATS["reused"] += 1
+            return state, False
+        if state is not None and state["leases"] > 0:
+            # another thread is mid-sweep on a differently-keyed pool:
+            # never terminate it from under them
+            _WARM_POOL_STATS["transient"] += 1
+            return {"key": key, "pool": ctx.Pool(processes=n_workers),
+                    "leases": 1}, True
+        _WARM_POOL = None
+        retired = state
+        fresh = {"key": key, "pool": ctx.Pool(processes=n_workers),
+                 "leases": 1}
+        _WARM_POOL = fresh
+        _WARM_POOL_STATS["created"] += 1
+    if retired is not None:
+        retired["pool"].terminate()
+        retired["pool"].join()
+    return fresh, False
+
+
+def _release_pool(state: Dict[str, Any], transient: bool, broken: bool) -> None:
+    """Return a leased pool; tear it down if transient or ``broken``.
+
+    A failed/interrupted section may leave queued tasks or dead workers
+    behind, so a ``broken`` warm pool is retired instead of being
+    handed to the next sweep.
+    """
+    global _WARM_POOL
+    if transient:
+        state["pool"].terminate()
+        state["pool"].join()
+        return
+    with _WARM_LOCK:
+        state["leases"] -= 1
+        if broken and _WARM_POOL is state:
+            _WARM_POOL = None
+        # terminate once a pool no longer registered as THE warm pool
+        # (broken here, or orphaned by a concurrent retirement) is
+        # fully released
+        terminate = state["leases"] <= 0 and _WARM_POOL is not state
+    if terminate:
+        state["pool"].terminate()
+        state["pool"].join()
+
+
+def _chunksize(n_tasks: int, n_workers: int) -> int:
+    """Submission chunk for one parallel section.
+
+    Small grids keep chunk 1 (best load balancing for long runs); large
+    grids batch so a sweep of many short runs does not pay one IPC
+    round-trip per task.  The divisor keeps at least ~4 chunks per
+    worker, so imbalance stays bounded.
+    """
+    return max(1, n_tasks // (n_workers * 4))
 
 
 # ----------------------------------------------------------------------
@@ -409,12 +581,19 @@ def run_matrix(
             for i, record in zip(misses, fresh):
                 _finish(record, records, i, cache, progress)
         else:
-            ctx = multiprocessing.get_context()
-            with ctx.Pool(processes=min(n_workers, len(tasks))) as pool:
+            state, transient = _lease_pool(n_workers)
+            broken = True
+            try:
                 # imap preserves task order while letting workers finish
-                # out of order; chunksize 1 keeps long runs load-balanced
-                for i, record in zip(misses, pool.imap(_execute_run, tasks, 1)):
+                # out of order; the chunk heuristic batches large grids
+                chunk = _chunksize(len(tasks), n_workers)
+                for i, record in zip(
+                    misses, state["pool"].imap(_execute_run, tasks, chunk)
+                ):
                     _finish(record, records, i, cache, progress)
+                broken = False
+            finally:
+                _release_pool(state, transient, broken)
     assert all(r is not None for r in records)
     return records  # type: ignore[return-value]
 

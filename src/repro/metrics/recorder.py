@@ -5,46 +5,64 @@ packet; experiments then read goodput, throughput time series and
 latency distributions from the recorder.
 
 Delivery events arrive in simulation-time order, and the recorder
-exploits that: alongside ``events`` it maintains an exact integer byte
-prefix-sum, so :meth:`mean_rate` answers any ``(start, end]`` window
-with two :func:`bisect.bisect_right` calls over ``events`` itself
-(probing with ``(t, inf)`` keys, so only times are compared) instead of
-a full scan; byte totals are integer sums, so the windowed total is
-exactly equal to the scan's.  Out-of-order recording (only seen from
-hand-built tests) is detected on append and falls back to the scan
-path.
+exploits that: times, sizes, latencies and the exact integer byte
+prefix-sum live in flat :mod:`array` columns (``'d'`` doubles /
+``'q'`` 64-bit ints) instead of per-packet tuples, so the hot
+``record`` path appends scalars into contiguous buffers — no per-event
+object allocation, a fraction of the memory — and :meth:`mean_rate`
+answers any ``(start, end]`` window with two
+:func:`bisect.bisect_right` calls over the time column plus one
+prefix-sum difference; byte totals are integer sums, so the windowed
+total is exactly equal to a scan's.  Out-of-order recording (only seen
+from hand-built tests) is detected on append and falls back to the
+scan path.  The historical ``events`` / ``latencies`` list views are
+materialized on demand.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from bisect import bisect_right
 from typing import List, Optional, Tuple
 
 from repro.sim.packet import Packet
 
-_INF = float("inf")
-
 
 class FlowRecorder:
     """Accumulates delivery events ``(time, bytes, latency)`` of one flow."""
 
+    __slots__ = (
+        "name",
+        "delivered_bytes",
+        "delivered_packets",
+        "first_time",
+        "last_time",
+        "_times",
+        "_sizes",
+        "_lats",
+        "_cum_bytes",
+        "_time_ordered",
+    )
+
     def __init__(self, name: str = ""):
         self.name = name
-        self.events: List[Tuple[float, int]] = []
-        self.latencies: List[float] = []
         self.delivered_bytes = 0
         self.delivered_packets = 0
         self.first_time: Optional[float] = None
         self.last_time: Optional[float] = None
-        self._cum_bytes: List[int] = [0]  # _cum_bytes[i] = bytes of events[:i]
+        self._times = array("d")
+        self._sizes = array("q")
+        self._lats = array("d")
+        self._cum_bytes = array("q", (0,))  # _cum_bytes[i] = bytes of events[:i]
         self._time_ordered = True
 
     def record(self, now: float, packet: Packet) -> None:
         """Record the delivery of ``packet`` at time ``now``."""
         size = packet.size
-        self.events.append((now, size))
-        self.latencies.append(now - packet.created_at)
+        self._times.append(now)
+        self._sizes.append(size)
+        self._lats.append(now - packet.created_at)
         self.delivered_bytes += size
         self.delivered_packets += 1
         if self.first_time is None:
@@ -56,8 +74,9 @@ class FlowRecorder:
 
     def record_bytes(self, now: float, nbytes: int, latency: float = 0.0) -> None:
         """Record a raw delivery (used by app-level reassembly)."""
-        self.events.append((now, nbytes))
-        self.latencies.append(latency)
+        self._times.append(now)
+        self._sizes.append(nbytes)
+        self._lats.append(latency)
         self.delivered_bytes += nbytes
         self.delivered_packets += 1
         if self.first_time is None:
@@ -68,6 +87,17 @@ class FlowRecorder:
         self._cum_bytes.append(self.delivered_bytes)
 
     # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Tuple[float, int]]:
+        """``(time, bytes)`` per delivery — materialized view (O(n))."""
+        return list(zip(self._times, self._sizes))
+
+    @property
+    def latencies(self) -> List[float]:
+        """Per-delivery latency — materialized view (O(n))."""
+        return list(self._lats)
+
+    # ------------------------------------------------------------------
     def mean_rate(self, start: float = 0.0, end: Optional[float] = None) -> float:
         """Mean delivery rate in **bytes/s** over the window ``(start, end]``.
 
@@ -75,27 +105,28 @@ class FlowRecorder:
         exactly ``start`` belongs to the warmup, not the measurement.
         ``end`` defaults to the last recorded event time.
 
-        O(log n): two bisects over the event list plus one prefix-sum
+        O(log n): two bisects over the time column plus one prefix-sum
         difference (events are byte-integers, so this is exactly the
         windowed sum).
         """
-        if not self.events:
+        times = self._times
+        if not times:
             return 0.0
         if end is None:
-            end = self.events[-1][0]
+            end = times[-1]
         duration = end - start
         if duration <= 0:
             return 0.0
         if self._time_ordered:
-            # probe with (t, inf): sizes are finite, so the comparison
-            # never goes past the time element — no parallel time array
-            events = self.events
-            inf = _INF
-            lo = bisect_right(events, (start, inf))
-            hi = bisect_right(events, (end, inf))
+            lo = bisect_right(times, start)
+            hi = bisect_right(times, end)
             total = self._cum_bytes[hi] - self._cum_bytes[lo]
         else:  # out-of-order recording: exact scan fallback
-            total = sum(size for t, size in self.events if start < t <= end)
+            total = sum(
+                size
+                for t, size in zip(times, self._sizes)
+                if start < t <= end
+            )
         return total / duration
 
     def mean_rate_bps(self, start: float = 0.0, end: Optional[float] = None) -> float:
@@ -108,8 +139,8 @@ class FlowRecorder:
         Returns one value per bucket from t=0 to ``end`` (default: last
         event).  Empty buckets yield 0.0.
 
-        One pass over the events with a single multiply per event
-        (``1 / bin_width`` is precomputed); the two boundary
+        One pass over the event columns with a single multiply per
+        event (``1 / bin_width`` is precomputed); the two boundary
         comparisons repair the rare half-ulp cases where the rounded
         multiply lands on the wrong side of a bucket edge, so bucketing
         matches ``floor(t / bin_width)`` against the representable bin
@@ -119,14 +150,15 @@ class FlowRecorder:
             raise ValueError("bin width must be positive")
         if not math.isfinite(bin_width):
             raise ValueError("bin width must be finite")
-        if not self.events:
+        times = self._times
+        if not times:
             return []
         if end is None:
-            end = self.events[-1][0]
+            end = times[-1]
         n_bins = max(1, math.ceil(end / bin_width))
         bins = [0.0] * n_bins
         inv_width = 1.0 / bin_width
-        for t, size in self.events:
+        for t, size in zip(times, self._sizes):
             idx = int(t * inv_width)
             if t < idx * bin_width:
                 idx -= 1

@@ -59,13 +59,19 @@ def summarize_flow(
         raise ValueError("end must be after warmup")
     series = recorder.series(bin_width, end=end)
     steady = series[int(warmup / bin_width):]
+    # events/latencies are O(n) materialized views: take them once and
+    # fold the window in a single pass
+    events = recorder.events
+    latencies = recorder.latencies
     window_latencies = [
-        lat
-        for (t, _), lat in zip(recorder.events, recorder.latencies)
-        if warmup < t <= end
+        lat for (t, _), lat in zip(events, latencies) if warmup < t <= end
     ]
-    packets = sum(1 for t, _ in recorder.events if warmup < t <= end)
-    nbytes = sum(size for t, size in recorder.events if warmup < t <= end)
+    packets = 0
+    nbytes = 0
+    for t, size in events:
+        if warmup < t <= end:
+            packets += 1
+            nbytes += size
     return FlowSummary(
         name=recorder.name,
         mean_rate_bps=recorder.mean_rate_bps(warmup, end),

@@ -15,7 +15,7 @@ It provides:
 """
 
 from repro.sim.engine import Event, Simulator, Timer
-from repro.sim.packet import Color, Packet, PacketKind
+from repro.sim.packet import Color, Packet, PacketKind, PacketPool
 from repro.sim.node import Agent, Node
 from repro.sim.link import Link
 from repro.sim.topology import Network, chain, dumbbell, star
@@ -26,6 +26,7 @@ __all__ = [
     "Timer",
     "Packet",
     "PacketKind",
+    "PacketPool",
     "Color",
     "Node",
     "Agent",

@@ -42,6 +42,33 @@ event traces):
 * **Lazy deletion.** Cancelled events stay in the heap as tombstones
   (``Event.cancelled``) and are discarded at pop time; the ``pending``
   property is an O(1) counter maintained on schedule/cancel/pop.
+
+Allocation-reuse invariants (PR 4 — same proof obligations as above;
+``REPRO_NO_POOL`` only affects the *packet* pool, the event reuse below
+is always on):
+
+* **Pooled no-handle events.** :meth:`Simulator.schedule_pooled` is the
+  hot-path variant used where the caller never needs the returned
+  handle (link serialization/delivery events): it recycles ``Event``
+  objects from a per-simulator free list and returns ``None``.  A
+  pooled event is recycled only *after* its callback ran (never while
+  in the heap), and because no handle escapes it can never be
+  cancelled — so a recycled object can never alias a live tombstone.
+  Future PRs must keep both halves of that bargain: never hand out a
+  pooled event, and never recycle before the pop-and-fire completes.
+* **Seq parity.** ``schedule_pooled`` and :meth:`Timer.restart` consume
+  exactly one ``seq`` per call, like ``schedule`` — the ``(time, seq)``
+  ordering contract (and therefore every golden digest) is unchanged by
+  reuse.
+* **Timer re-arm without allocating.** After a :class:`Timer` fires,
+  the popped ``Event`` is kept as a spare and re-initialized on the
+  next ``restart`` (fresh ``time``/``seq``, flags cleared) instead of
+  allocating.  A restart *while armed* tombstones the pending event in
+  the heap and then re-arms the spare if one exists (allocating only
+  when it does not) — the spare is always an already-fired object, so
+  this never touches the tombstone.  The invariant future PRs must
+  keep: a tombstoned (cancelled-in-heap) event object is never
+  re-armed, or it would fire twice when its stale heap entry pops.
 """
 
 from __future__ import annotations
@@ -52,6 +79,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_event_new = object.__new__
 
 
 class SimulationError(Exception):
@@ -67,16 +95,27 @@ class Event:
     docstring), so events are never compared during heap sifts.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_popped")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_popped", "_pooled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
-        self._sim: Optional["Simulator"] = None
+        self._sim = sim
         self._popped = False
+        # True for events created by Simulator.schedule_pooled: no
+        # handle ever escaped, so the run loop may recycle the object
+        # after firing it
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -114,6 +153,7 @@ class Simulator:
         self._rngs: Dict[str, random.Random] = {}
         self._running = False
         self._events_processed = 0
+        self._event_pool: List[Event] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -125,11 +165,49 @@ class Simulator:
         time = self.now + delay
         seq = self._seq
         self._seq = seq + 1
-        ev = Event(time, seq, fn, args)
+        # hottest allocation site in the engine: build the Event with
+        # direct slot stores (no __init__ frame), field-for-field the
+        # same object Event(...) would produce
+        ev = _event_new(Event)
+        ev.time = time
+        ev.seq = seq
+        ev.fn = fn
+        ev.args = args
+        ev.cancelled = False
         ev._sim = self
+        ev._popped = False
+        ev._pooled = False
         _heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
+
+    def schedule_pooled(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Hot-path schedule for callers that never keep the handle.
+
+        Recycles ``Event`` objects from a per-simulator free list (see
+        the module docstring's allocation-reuse invariants) and returns
+        ``None`` — the event cannot be cancelled, which is exactly what
+        makes the recycling safe.  Ordering is identical to
+        :meth:`schedule` (one ``seq`` consumed per call).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev._popped = False
+        else:
+            ev = Event(time, seq, fn, args, self)
+            ev._pooled = True
+        _heappush(self._heap, (time, seq, ev))
+        self._live += 1
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
@@ -139,8 +217,28 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        ev = Event(time, seq, fn, args)
-        ev._sim = self
+        ev = Event(time, seq, fn, args, self)
+        _heappush(self._heap, (time, seq, ev))
+        self._live += 1
+        return ev
+
+    def _rearm(self, ev: Event, delay: float) -> Event:
+        """Re-arm a popped, never-shared event object (Timer fast path).
+
+        The caller (only :class:`Timer`) guarantees ``ev`` already fired
+        — it is not in the heap and no tombstone references it — so
+        re-initializing it in place is indistinguishable from a fresh
+        allocation.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev.time = time
+        ev.seq = seq
+        ev.cancelled = False
+        ev._popped = False
         _heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
@@ -188,6 +286,8 @@ class Simulator:
         self._running = True
         heap = self._heap
         pop = _heappop
+        pool = self._event_pool
+        pool_append = pool.append
         try:
             if max_events is None:
                 if until is None:
@@ -201,6 +301,10 @@ class Simulator:
                         self.now = time
                         ev.fn(*ev.args)
                         processed += 1
+                        if ev._pooled:
+                            # fired, handle never escaped: reusable
+                            ev.args = ()
+                            pool_append(ev)
                 else:
                     # horizon fast path: peek, purge tombstones, stop at
                     # the first live event strictly past ``until``
@@ -219,6 +323,9 @@ class Simulator:
                         self.now = time
                         ev.fn(*ev.args)
                         processed += 1
+                        if ev._pooled:
+                            ev.args = ()
+                            pool_append(ev)
             else:
                 while heap:
                     if processed >= max_events:
@@ -237,6 +344,9 @@ class Simulator:
                     self.now = time
                     ev.fn(*ev.args)
                     processed += 1
+                    if ev._pooled:
+                        ev.args = ()
+                        pool_append(ev)
         finally:
             self._running = False
         if until is not None and self.now < until:
@@ -256,6 +366,9 @@ class Simulator:
             self.now = time
             ev.fn(*ev.args)
             self._events_processed += 1
+            if ev._pooled:
+                ev.args = ()
+                self._event_pool.append(ev)
             return True
         return False
 
@@ -293,11 +406,27 @@ class Timer:
         self._sim = sim
         self._callback = callback
         self._event: Optional[Event] = None
+        # the last event that *fired* (popped, handle never shared):
+        # reused by the next restart so periodic re-arm-after-fire —
+        # RTO backoff, TFRC nofeedback/feedback pacing — allocates
+        # nothing.  A shot cancelled while armed is NOT reusable (its
+        # tombstone is still in the heap): restart() tombstones it and
+        # re-arms the spare when one exists (the spare already fired,
+        # so it is a different object), allocating only without one.
+        self._spare: Optional[Event] = None
 
     def restart(self, delay: float) -> None:
         """Arm the timer ``delay`` seconds from now, cancelling any pending shot."""
-        self.stop()
-        self._event = self._sim.schedule(delay, self._fire)
+        event = self._event
+        if event is not None:
+            event.cancel()
+            self._event = None
+        spare = self._spare
+        if spare is not None:
+            self._spare = None
+            self._event = self._sim._rearm(spare, delay)
+        else:
+            self._event = self._sim.schedule(delay, self._fire)
 
     def stop(self) -> None:
         """Disarm the timer.  Idempotent."""
@@ -306,6 +435,9 @@ class Timer:
             self._event = None
 
     def _fire(self) -> None:
+        event = self._event  # just popped by the run loop
+        if event is not None:
+            self._spare = event
         self._event = None
         self._callback()
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Protocol, TYPE_CHECKING
 
 from repro.sim.engine import Simulator
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketPool
 from repro.sim.queues import DropTailQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -41,6 +41,8 @@ class Marker(Protocol):
 class LinkStats:
     """Transmission-side counters of a link."""
 
+    __slots__ = ("tx_packets", "tx_bytes", "delivered_packets", "channel_losses")
+
     def __init__(self) -> None:
         self.tx_packets = 0
         self.tx_bytes = 0
@@ -48,7 +50,12 @@ class LinkStats:
         self.channel_losses = 0
 
     def utilization(self, rate_bps: float, duration: float) -> float:
-        """Fraction of capacity used over ``duration`` seconds."""
+        """Fraction of capacity used over ``duration`` seconds.
+
+        Degenerate windows (``duration <= 0``) and non-positive rates
+        report 0.0 instead of dividing by zero — callers summarize
+        warmup-clipped windows that can collapse to empty.
+        """
         if duration <= 0 or rate_bps <= 0:
             return 0.0
         return min(1.0, self.tx_bytes * 8 / (rate_bps * duration))
@@ -97,6 +104,7 @@ class Link:
         self.stats = LinkStats()
         self._busy = False
         self.on_drop: Optional[Callable[[Packet], None]] = None
+        self._pool = PacketPool.of(sim)
         src.links[dst.name] = self
 
     # ------------------------------------------------------------------
@@ -106,7 +114,8 @@ class Link:
         Hot path: one call per packet per hop.  ``sim.now`` is read
         once (marking and enqueueing happen at the same instant) and no
         packet copies are made — the same object rides the link end to
-        end.
+        end.  A queue drop is a terminal sink: pool-managed packets are
+        recycled (after any ``on_drop`` observer ran).
         """
         now = self.sim.now
         if self.marker is not None:
@@ -114,6 +123,8 @@ class Link:
         if not self.queue.enqueue(packet, now):
             if self.on_drop is not None:
                 self.on_drop(packet)
+            if self._pool is not None:
+                self._pool.release(packet)
             return False
         if not self._busy:
             self._start_transmission()
@@ -126,8 +137,11 @@ class Link:
             self._busy = False
             return
         self._busy = True
-        # packet.size * 8 == packet.bits, without the property call
-        sim.schedule(packet.size * 8 / self.rate_bps, self._finish_transmission, packet)
+        # packet.size * 8 == packet.bits, without the property call;
+        # the handle is never needed, so the Event object is recycled
+        sim.schedule_pooled(
+            packet.size * 8 / self.rate_bps, self._finish_transmission, packet
+        )
 
     def _finish_transmission(self, packet: Packet) -> None:
         stats = self.stats
@@ -143,7 +157,12 @@ class Link:
             else:
                 extra = outcome
         if not lost:
-            self.sim.schedule(self.delay + extra, self._deliver, packet)
+            self.sim.schedule_pooled(self.delay + extra, self._deliver, packet)
+        elif self._pool is not None:
+            # channel loss is terminal; the tracer's loss record (which
+            # runs after this returns) only reads fields, and nothing
+            # can re-acquire the object before then
+            self._pool.release(packet)
         # pipeline the next packet regardless of the fate of this one
         self._start_transmission()
 

@@ -1,4 +1,4 @@
-"""Packet model and protocol headers.
+"""Packet model, protocol headers and the per-simulator packet pool.
 
 A :class:`Packet` is the unit handled by links, queues and agents.  It
 carries addressing (source/destination node names plus a flow id used
@@ -8,14 +8,25 @@ one typed protocol header.
 Headers are plain dataclasses — one per protocol message type — so that
 agents can dispatch on ``type(packet.header)`` and tests can construct
 messages directly.
+
+Allocation-free fast path (PR 4): every simulated packet used to cost a
+fresh ``Packet`` plus a fresh header dataclass.  :class:`PacketPool` is
+a per-simulator free list that recycles both together: transport
+senders *acquire* a recycled ``(Packet, header)`` pair of the right
+header class (falling back to normal construction on a miss), and the
+audited terminal sinks — receiver consumption, queue drops, channel
+losses — *release* it back.  See the class docstring for the exact
+re-init and safety semantics; ``REPRO_NO_POOL=1`` disables pooling
+entirely (bit-identical results either way — the goldens prove it).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import os
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class Color(enum.Enum):
@@ -196,6 +207,12 @@ class Packet:
     app: Optional[AppDataHeader] = None
     uid: int = field(default_factory=_next_uid)
     hops: int = 0
+    #: True only while the packet's lifecycle is managed by a
+    #: :class:`PacketPool` (set by ``acquire`` / by the pooled sender on
+    #: a miss, cleared by ``release``).  Hand-built packets stay False
+    #: and are therefore never recycled, so tests and apps may hold on
+    #: to them freely.
+    pooled: bool = field(default=False, repr=False, compare=False)
 
     def reply_to(self) -> Tuple[str, str]:
         """Return ``(src, dst)`` for a packet answering this one."""
@@ -210,6 +227,9 @@ class Packet:
         (retransmission buffers, tests).
         """
         changes.setdefault("uid", _next_uid())
+        # a copy is a new, unmanaged object: whoever made it may keep
+        # it, so it must never be recycled on the original's behalf
+        changes.setdefault("pooled", False)
         return replace(self, **changes)
 
     @property
@@ -227,3 +247,142 @@ class Packet:
 def total_bytes(packets: List[Packet]) -> int:
     """Sum of packet sizes; convenience for tests and metrics."""
     return sum(p.size for p in packets)
+
+
+# ----------------------------------------------------------------------
+# packet pool
+# ----------------------------------------------------------------------
+#: Environment kill-switch: set ``REPRO_NO_POOL=1`` to disable packet
+#: pooling for debugging (e.g. to rule the pool out when bisecting a
+#: behaviour change).  Read when a pool is first attached to a
+#: simulator, so tests can monkeypatch it per-``Simulator``.
+NO_POOL_ENV = "REPRO_NO_POOL"
+
+
+def pooling_enabled() -> bool:
+    """False when :data:`NO_POOL_ENV` disables the packet pool."""
+    return os.environ.get(NO_POOL_ENV, "").strip() in ("", "0")
+
+
+class PacketPool:
+    """Per-simulator free list recycling ``Packet`` + header pairs.
+
+    **Re-init semantics.**  ``acquire(header_cls, ...)`` pops a recycled
+    packet whose header is an instance of ``header_cls`` and re-writes
+    *every* ``Packet`` field: addressing, size, kind, color (back to the
+    construction default ``Color.RED`` unless overridden — edge markers
+    re-color each transmission), ``created_at``, ``app``, ``hops = 0``
+    and a **fresh uid** drawn from the same module counter that
+    ``Packet()`` construction uses.  One logical packet therefore draws
+    exactly one uid whether it was constructed or recycled — uid
+    sequences, and with them every trace and golden fingerprint, are
+    bit-identical with pooling on or off.  The *header* fields are left
+    stale: the caller re-fills them in place (they differ per header
+    class, and the type-keyed free lists guarantee the class matches).
+    **Adding a field to a pooled header class therefore requires
+    updating every acquire site that refills that class** (grep for
+    ``pool.acquire``); the guard against a missed refill is the
+    pool-off equivalence test (``REPRO_NO_POOL=1`` must reproduce the
+    goldens bit-for-bit — a leaked stale field changes results and
+    trips it).
+
+    **Safety contract.**  Only packets flagged ``pooled=True`` are ever
+    recycled; ``release`` is a no-op for anything else and clears the
+    flag (double release is harmless).  The flag is a promise made at
+    the acquire site: *nothing retains this packet or its header object
+    past its terminal sink*.  The audited sinks that release are
+    receiver data/feedback consumption (skipped when an ``on_deliver``
+    app callback might retain the packet), queue drops and channel
+    losses.  Components that legitimately retain packets — the
+    reordering :class:`~repro.reliability.delivery.DeliveryBuffer` —
+    release only when they finally hand the packet over.
+
+    Use :meth:`PacketPool.of` to get the simulator's pool (``None``
+    when :data:`NO_POOL_ENV` disabled pooling at attach time).
+    """
+
+    __slots__ = ("_free", "max_free", "hits", "misses", "recycled")
+
+    #: Free-list bound per header class; in-flight windows are far
+    #: smaller, so this only caps pathological release storms.
+    MAX_FREE = 256
+
+    def __init__(self, max_free: int = MAX_FREE):
+        self._free: Dict[type, List[Packet]] = {}
+        self.max_free = max_free
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+
+    @classmethod
+    def of(cls, sim) -> Optional["PacketPool"]:
+        """The simulator's pool, created lazily; None when disabled.
+
+        The kill-switch is sampled once per simulator (at first
+        attach), so a single run is internally consistent even if the
+        environment changes mid-process.
+        """
+        pool = getattr(sim, "_packet_pool", False)
+        if pool is False:
+            pool = cls() if pooling_enabled() else None
+            sim._packet_pool = pool
+        return pool
+
+    def acquire(
+        self,
+        header_cls: type,
+        src: str,
+        dst: str,
+        flow_id: str,
+        size: int,
+        kind: PacketKind,
+        created_at: float,
+        color: Color = Color.RED,
+        app: Optional[AppDataHeader] = None,
+    ) -> Optional[Packet]:
+        """Pop and re-init a recycled packet, or None (caller constructs).
+
+        The returned packet's ``header`` is a stale ``header_cls``
+        instance the caller must re-fill in place.
+        """
+        free = self._free.get(header_cls)
+        if not free:
+            self.misses += 1
+            return None
+        self.hits += 1
+        p = free.pop()
+        p.src = src
+        p.dst = dst
+        p.flow_id = flow_id
+        p.size = size
+        p.kind = kind
+        p.color = color
+        p.created_at = created_at
+        p.app = app
+        p.uid = _next_uid()
+        p.hops = 0
+        p.pooled = True
+        return p
+
+    def release(self, packet: Packet) -> None:
+        """Return a pool-managed packet to the free list (else no-op)."""
+        if not packet.pooled:
+            return
+        packet.pooled = False
+        header = packet.header
+        if header is None:
+            return
+        cls = header.__class__
+        free = self._free.get(cls)
+        if free is None:
+            free = self._free[cls] = []
+        if len(free) < self.max_free:
+            free.append(packet)
+            self.recycled += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {c.__name__: len(v) for c, v in self._free.items()}
+        return (
+            f"PacketPool(hits={self.hits}, misses={self.misses}, "
+            f"recycled={self.recycled}, free={sizes})"
+        )

@@ -21,7 +21,24 @@ from repro.sim.packet import Color, Packet
 
 
 class QueueStats:
-    """Counters shared by all queue disciplines."""
+    """Counters shared by all queue disciplines.
+
+    Per-color counters are flat lists indexed by ``Color.value`` (the
+    record methods run once per packet per hop, where the seed's
+    enum-keyed dict paid a hash per packet); the historical
+    ``drops_by_color`` / ``accepts_by_color`` dict views are preserved
+    as read-only properties for reports and tests.
+    """
+
+    __slots__ = (
+        "enqueued",
+        "dequeued",
+        "dropped",
+        "enqueued_bytes",
+        "dropped_bytes",
+        "_drops_by_color",
+        "_accepts_by_color",
+    )
 
     def __init__(self) -> None:
         self.enqueued = 0
@@ -29,18 +46,28 @@ class QueueStats:
         self.dropped = 0
         self.enqueued_bytes = 0
         self.dropped_bytes = 0
-        self.drops_by_color: Dict[Color, int] = {c: 0 for c in Color}
-        self.accepts_by_color: Dict[Color, int] = {c: 0 for c in Color}
+        self._drops_by_color = [0] * len(Color)
+        self._accepts_by_color = [0] * len(Color)
 
     def record_accept(self, packet: Packet) -> None:
         self.enqueued += 1
         self.enqueued_bytes += packet.size
-        self.accepts_by_color[packet.color] += 1
+        self._accepts_by_color[packet.color.value] += 1
 
     def record_drop(self, packet: Packet) -> None:
         self.dropped += 1
         self.dropped_bytes += packet.size
-        self.drops_by_color[packet.color] += 1
+        self._drops_by_color[packet.color.value] += 1
+
+    @property
+    def drops_by_color(self) -> Dict[Color, int]:
+        """Per-precedence drop counts (read-only snapshot)."""
+        return {c: self._drops_by_color[c.value] for c in Color}
+
+    @property
+    def accepts_by_color(self) -> Dict[Color, int]:
+        """Per-precedence accept counts (read-only snapshot)."""
+        return {c: self._accepts_by_color[c.value] for c in Color}
 
     @property
     def offered(self) -> int:
@@ -59,8 +86,9 @@ class QueueStats:
         The per-precedence ratio every DiffServ experiment reports
         (green = in-profile protection, the AF assurance's core metric).
         """
-        offered = self.accepts_by_color[color] + self.drops_by_color[color]
-        return self.drops_by_color[color] / offered if offered else 0.0
+        index = color.value
+        offered = self._accepts_by_color[index] + self._drops_by_color[index]
+        return self._drops_by_color[index] / offered if offered else 0.0
 
 
 class DropTailQueue:

@@ -5,16 +5,31 @@ event log — ``(time, event, link, flow_id, seq-or-uid, size, color)`` —
 that experiments and debugging sessions can filter and summarize.  The
 hooks are the links' public callbacks plus light wrappers, so tracing
 can be enabled per link with no global switches.
+
+Storage is columnar (PR 4): each record is one append per field into
+flat :mod:`array` buffers — times as doubles, uids/sizes as 64-bit
+ints, event/link/flow/color as small interned ids — instead of a
+``TraceRecord`` object per packet event.  The ring bound is kept with a
+head offset and amortized compaction, so exceeding ``max_records``
+costs O(1) per record instead of the seed's ``list.pop(0)`` O(n).  The
+historical ``records`` list of :class:`TraceRecord` is materialized on
+demand; the summary queries run directly over the columns.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.sim.link import Link
-from repro.sim.packet import Packet
+from repro.sim.packet import Color, Packet
+
+#: Color names indexed by ``Color.value`` (derived, so it cannot drift).
+_COLOR_NAMES = tuple(
+    c.name for c in sorted(Color, key=lambda color: color.value)
+)
 
 
 class TraceEvent(enum.Enum):
@@ -25,6 +40,10 @@ class TraceEvent(enum.Enum):
     TRANSMIT = "tx"
     DELIVER = "rx"
     CHANNEL_LOSS = "chloss"
+
+
+_EVENTS = tuple(TraceEvent)
+_EVENT_INDEX = {event: i for i, event in enumerate(_EVENTS)}
 
 
 @dataclass(frozen=True)
@@ -58,8 +77,20 @@ class PacketTracer:
     ):
         self.flow_filter = set(flow_filter) if flow_filter is not None else None
         self.max_records = max_records
-        self.records: List[TraceRecord] = []
         self.dropped_records = 0
+        # columnar storage; _head marks the oldest live row
+        self._times = array("d")
+        self._events = array("b")
+        self._links = array("i")
+        self._flows = array("i")
+        self._uids = array("q")
+        self._sizes = array("q")
+        self._colors = array("b")
+        self._head = 0
+        self._link_ids: Dict[str, int] = {}
+        self._link_names: List[str] = []
+        self._flow_ids: Dict[str, int] = {}
+        self._flow_names: List[str] = []
 
     # ------------------------------------------------------------------
     def attach(self, link: Link) -> None:
@@ -68,22 +99,42 @@ class PacketTracer:
         self._wrap_transmission(link)
 
     def _record(self, link: Link, packet: Packet, event: TraceEvent) -> None:
-        if self.flow_filter is not None and packet.flow_id not in self.flow_filter:
+        flow = packet.flow_id
+        if self.flow_filter is not None and flow not in self.flow_filter:
             return
-        if len(self.records) >= self.max_records:
-            self.records.pop(0)
+        if len(self._times) - self._head >= self.max_records:
+            self._head += 1
             self.dropped_records += 1
-        self.records.append(
-            TraceRecord(
-                time=link.sim.now,
-                event=event,
-                link=link.name,
-                flow_id=packet.flow_id,
-                uid=packet.uid,
-                size=packet.size,
-                color=packet.color.name,
-            )
-        )
+            if self._head >= self.max_records:
+                self._compact()
+        link_id = self._link_ids.get(link.name)
+        if link_id is None:
+            link_id = self._link_ids[link.name] = len(self._link_names)
+            self._link_names.append(link.name)
+        flow_id = self._flow_ids.get(flow)
+        if flow_id is None:
+            flow_id = self._flow_ids[flow] = len(self._flow_names)
+            self._flow_names.append(flow)
+        self._times.append(link.sim.now)
+        self._events.append(_EVENT_INDEX[event])
+        self._links.append(link_id)
+        self._flows.append(flow_id)
+        self._uids.append(packet.uid)
+        self._sizes.append(packet.size)
+        self._colors.append(packet.color.value)
+
+    def _compact(self) -> None:
+        """Drop the dead prefix once it reaches ``max_records`` rows.
+
+        Amortized O(1) per record: each compaction moves at most
+        ``max_records`` live rows after ``max_records`` discards.
+        """
+        head = self._head
+        for name in ("_times", "_events", "_links", "_flows", "_uids",
+                     "_sizes", "_colors"):
+            column = getattr(self, name)
+            del column[:head]
+        self._head = 0
 
     def _chain_drop(self, link: Link) -> None:
         previous: Optional[Callable[[Packet], None]] = link.on_drop
@@ -109,6 +160,9 @@ class PacketTracer:
         def finish(packet: Packet) -> None:
             self._record(link, packet, TraceEvent.TRANSMIT)
             losses_before = link.stats.channel_losses
+            # NOTE: a lost pool-managed packet is released inside the
+            # original finish, but nothing can re-acquire it before the
+            # field reads below (acquires only happen in agent sends)
             original_finish(packet)
             if link.stats.channel_losses > losses_before:
                 self._record(link, packet, TraceEvent.CHANNEL_LOSS)
@@ -122,31 +176,74 @@ class PacketTracer:
         link._deliver = deliver  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
+    def _row(self, i: int) -> TraceRecord:
+        return TraceRecord(
+            time=self._times[i],
+            event=_EVENTS[self._events[i]],
+            link=self._link_names[self._links[i]],
+            flow_id=self._flow_names[self._flows[i]],
+            uid=self._uids[i],
+            size=self._sizes[i],
+            color=_COLOR_NAMES[self._colors[i]],
+        )
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All live records, oldest first — materialized view (O(n))."""
+        return [self._row(i) for i in range(self._head, len(self._times))]
+
     def events_of(self, kind: TraceEvent) -> List[TraceRecord]:
         """All records of one event kind, in time order."""
-        return [r for r in self.records if r.event is kind]
+        code = _EVENT_INDEX[kind]
+        events = self._events
+        return [
+            self._row(i)
+            for i in range(self._head, len(events))
+            if events[i] == code
+        ]
 
     def count(self, kind: TraceEvent) -> int:
         """Number of records of one kind."""
-        return sum(1 for r in self.records if r.event is kind)
+        code = _EVENT_INDEX[kind]
+        events = self._events
+        return sum(
+            1 for i in range(self._head, len(events)) if events[i] == code
+        )
 
     def per_flow_counts(self, kind: TraceEvent) -> dict:
         """``{flow_id: count}`` for one event kind."""
-        counts: dict = {}
-        for r in self.records:
-            if r.event is kind:
-                counts[r.flow_id] = counts.get(r.flow_id, 0) + 1
-        return counts
+        code = _EVENT_INDEX[kind]
+        events = self._events
+        flows = self._flows
+        counts_by_id: Dict[int, int] = {}
+        for i in range(self._head, len(events)):
+            if events[i] == code:
+                fid = flows[i]
+                counts_by_id[fid] = counts_by_id.get(fid, 0) + 1
+        return {
+            self._flow_names[fid]: n for fid, n in counts_by_id.items()
+        }
 
     def one_way_delays(self, flow_id: str) -> List[float]:
         """Enqueue-to-deliver delays per packet uid for one flow."""
-        enqueued = {}
-        delays = []
-        for r in self.records:
-            if r.flow_id != flow_id:
+        target = self._flow_ids.get(flow_id)
+        if target is None:
+            return []
+        enq_code = _EVENT_INDEX[TraceEvent.ENQUEUE]
+        rx_code = _EVENT_INDEX[TraceEvent.DELIVER]
+        events = self._events
+        flows = self._flows
+        uids = self._uids
+        times = self._times
+        enqueued: Dict[int, float] = {}
+        delays: List[float] = []
+        for i in range(self._head, len(events)):
+            if flows[i] != target:
                 continue
-            if r.event is TraceEvent.ENQUEUE and r.uid not in enqueued:
-                enqueued[r.uid] = r.time
-            elif r.event is TraceEvent.DELIVER and r.uid in enqueued:
-                delays.append(r.time - enqueued.pop(r.uid))
+            code = events[i]
+            uid = uids[i]
+            if code == enq_code and uid not in enqueued:
+                enqueued[uid] = times[i]
+            elif code == rx_code and uid in enqueued:
+                delays.append(times[i] - enqueued.pop(uid))
         return delays

@@ -13,7 +13,7 @@ from repro.metrics.recorder import FlowRecorder
 from repro.sack.blocks import ReceiverSackState
 from repro.sim.engine import Simulator, Timer
 from repro.sim.node import Agent
-from repro.sim.packet import Packet, PacketKind, TcpSegmentHeader
+from repro.sim.packet import Packet, PacketKind, PacketPool, TcpSegmentHeader
 from repro.tcp.sender import ACK_SIZE
 
 #: Delayed-ACK flush timeout (RFC 1122 allows up to 500 ms; 200 ms typical).
@@ -47,6 +47,7 @@ class TcpReceiver(Agent):
         self.delayed_ack = delayed_ack
         self.sack_block_limit = sack_block_limit
         self.state = ReceiverSackState()
+        self._pool = PacketPool.of(sim)
         self._peer = ""
         self._delack_pending = 0
         self._delack_timer = Timer(sim, self._flush_delack)
@@ -67,7 +68,10 @@ class TcpReceiver(Agent):
         if fresh and self.recorder is not None:
             self.recorder.record(self.sim.now, packet)
         out_of_order = header.seq != in_order_before + 1
-        self._last_data_ts = header.timestamp
+        timestamp = header.timestamp
+        self._last_data_ts = timestamp
+        if self._pool is not None:  # segment fully consumed: recycle
+            self._pool.release(packet)
         if self.delayed_ack and not out_of_order:
             self._delack_pending += 1
             if self._delack_pending < 2:
@@ -75,7 +79,7 @@ class TcpReceiver(Agent):
                 return
         self._delack_pending = 0
         self._delack_timer.stop()
-        self._send_ack(header.timestamp)
+        self._send_ack(timestamp)
 
     def _flush_delack(self) -> None:
         if self._delack_pending:
@@ -83,25 +87,49 @@ class TcpReceiver(Agent):
             self._send_ack(self._last_data_ts)
 
     def _send_ack(self, timestamp_echo: float) -> None:
+        now = self.sim.now
+        src = self.node.name if self.node else "?"
         blocks = (
             self.state.blocks(self.sack_block_limit) if self.sack else ()
         )
-        header = TcpSegmentHeader(
-            seq=-1,
-            payload=0,
-            ack=self.state.cum_ack + 1,
-            sack_blocks=blocks,
-            timestamp=self.sim.now,
-            timestamp_echo=timestamp_echo,
+        size = ACK_SIZE + 8 * len(blocks)
+        pool = self._pool
+        packet = (
+            pool.acquire(
+                TcpSegmentHeader, src, self._peer, self.flow_id,
+                size, PacketKind.ACK, now,
+            )
+            if pool is not None
+            else None
         )
-        packet = Packet(
-            src=self.node.name if self.node else "?",
-            dst=self._peer,
-            flow_id=self.flow_id,
-            size=ACK_SIZE + 8 * len(blocks),
-            kind=PacketKind.ACK,
-            header=header,
-            created_at=self.sim.now,
-        )
+        if packet is not None:
+            header = packet.header
+            header.seq = -1
+            header.payload = 0
+            header.ack = self.state.cum_ack + 1
+            header.syn = False
+            header.fin = False
+            header.sack_blocks = blocks
+            header.timestamp = now
+            header.timestamp_echo = timestamp_echo
+        else:
+            packet = Packet(
+                src=src,
+                dst=self._peer,
+                flow_id=self.flow_id,
+                size=size,
+                kind=PacketKind.ACK,
+                header=TcpSegmentHeader(
+                    seq=-1,
+                    payload=0,
+                    ack=self.state.cum_ack + 1,
+                    sack_blocks=blocks,
+                    timestamp=now,
+                    timestamp_echo=timestamp_echo,
+                ),
+                created_at=now,
+            )
+            if pool is not None:
+                packet.pooled = True
         self.acks_sent += 1
         self.send(packet)

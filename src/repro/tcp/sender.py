@@ -12,7 +12,7 @@ from typing import Optional, Set
 from repro.sack.scoreboard import SenderScoreboard
 from repro.sim.engine import Simulator, Timer
 from repro.sim.node import Agent
-from repro.sim.packet import Packet, PacketKind, TcpSegmentHeader
+from repro.sim.packet import Packet, PacketKind, PacketPool, TcpSegmentHeader
 from repro.tfrc.rtt import RtoEstimator
 
 #: Size of a pure ACK on the wire, bytes.
@@ -69,6 +69,7 @@ class TcpSender(Agent):
         self._rto_timer = Timer(sim, self._on_rto)
         self._retransmitted: Set[int] = set()
         self.scoreboard = SenderScoreboard()
+        self._pool = PacketPool.of(sim)
         self._running = False
         self.sent_segments = 0
         self.retransmissions = 0
@@ -136,20 +137,41 @@ class TcpSender(Agent):
         return self.flight_size > 0 or self.scoreboard.outstanding > 0
 
     def _transmit(self, seq: int, fresh: bool) -> None:
-        header = TcpSegmentHeader(
-            seq=seq,
-            payload=self.segment_size,
-            timestamp=self.sim.now,
+        now = self.sim.now
+        src = self.node.name if self.node else "?"
+        pool = self._pool
+        packet = (
+            pool.acquire(
+                TcpSegmentHeader, src, self.dst, self.flow_id,
+                self.segment_size, PacketKind.DATA, now,
+            )
+            if pool is not None
+            else None
         )
-        packet = Packet(
-            src=self.node.name if self.node else "?",
-            dst=self.dst,
-            flow_id=self.flow_id,
-            size=self.segment_size,
-            kind=PacketKind.DATA,
-            header=header,
-            created_at=self.sim.now,
-        )
+        if packet is not None:
+            header = packet.header
+            header.seq = seq
+            header.payload = self.segment_size
+            header.ack = -1
+            header.syn = False
+            header.fin = False
+            header.sack_blocks = ()
+            header.timestamp = now
+            header.timestamp_echo = 0.0
+        else:
+            packet = Packet(
+                src=src,
+                dst=self.dst,
+                flow_id=self.flow_id,
+                size=self.segment_size,
+                kind=PacketKind.DATA,
+                header=TcpSegmentHeader(
+                    seq=seq, payload=self.segment_size, timestamp=now
+                ),
+                created_at=now,
+            )
+            if pool is not None:
+                packet.pooled = True
         if fresh:
             self.scoreboard.on_send(seq, self.segment_size, self.sim.now)
         else:
@@ -181,6 +203,8 @@ class TcpSender(Agent):
             self._on_dup_ack()
         self._fill_window()
         self.cwnd_log.append((self.sim.now, self.cwnd))
+        if self._pool is not None:  # ACK fully consumed: recycle
+            self._pool.release(packet)
 
     def _on_new_ack(self, ack: int, header: TcpSegmentHeader) -> None:
         newly_acked = ack - self.snd_una

@@ -21,6 +21,7 @@ from repro.sim.node import Agent
 from repro.sim.packet import (
     Packet,
     PacketKind,
+    PacketPool,
     TfrcDataHeader,
     TfrcFeedbackHeader,
 )
@@ -55,6 +56,7 @@ class TfrcReceiver(Agent):
             meter=meter, first_interval_fn=self._synthetic_first_interval
         )
         self._feedback_timer = Timer(sim, self._on_feedback_timer)
+        self._pool = PacketPool.of(sim)
         self._rtt_hint = 0.0
         self._segment_size = 1000
         self._last_data_ts = 0.0
@@ -86,6 +88,9 @@ class TfrcReceiver(Agent):
             self.recorder.record(self.sim.now, packet)
         if self.on_deliver is not None:
             self.on_deliver(packet)
+        elif self._pool is not None:
+            # terminal sink (no app callback that might retain): recycle
+            self._pool.release(packet)
         if self._last_feedback_time is None or new_event:
             # first packet, or a fresh loss event: report immediately (§6.2)
             self._send_feedback()
@@ -130,24 +135,43 @@ class TfrcReceiver(Agent):
     def _send_feedback(self) -> None:
         if self.node is None or self.received_packets == 0:
             return
+        now = self.sim.now
         self._x_recv = self._measure_x_recv()
-        header = TfrcFeedbackHeader(
-            timestamp_echo=self._last_data_ts,
-            elapsed=self.sim.now - self._last_data_arrival,
-            x_recv=self._x_recv,
-            p=self.estimator.loss_event_rate(),
-            last_seq=self.estimator.max_seq,
-        )
+        pool = self._pool
         # the feedback's destination is the data packets' source flow
-        packet = Packet(
-            src=self.node.name,
-            dst=self._peer_name,
-            flow_id=self.flow_id,
-            size=FEEDBACK_SIZE,
-            kind=PacketKind.FEEDBACK,
-            header=header,
-            created_at=self.sim.now,
+        packet = (
+            pool.acquire(
+                TfrcFeedbackHeader, self.node.name, self._peer_name,
+                self.flow_id, FEEDBACK_SIZE, PacketKind.FEEDBACK, now,
+            )
+            if pool is not None
+            else None
         )
+        if packet is not None:
+            header = packet.header
+            header.timestamp_echo = self._last_data_ts
+            header.elapsed = now - self._last_data_arrival
+            header.x_recv = self._x_recv
+            header.p = self.estimator.loss_event_rate()
+            header.last_seq = self.estimator.max_seq
+        else:
+            packet = Packet(
+                src=self.node.name,
+                dst=self._peer_name,
+                flow_id=self.flow_id,
+                size=FEEDBACK_SIZE,
+                kind=PacketKind.FEEDBACK,
+                header=TfrcFeedbackHeader(
+                    timestamp_echo=self._last_data_ts,
+                    elapsed=now - self._last_data_arrival,
+                    x_recv=self._x_recv,
+                    p=self.estimator.loss_event_rate(),
+                    last_seq=self.estimator.max_seq,
+                ),
+                created_at=now,
+            )
+            if pool is not None:
+                packet.pooled = True
         self.send(packet)
         self.feedback_sent += 1
         self._bytes_since_feedback = 0

@@ -16,6 +16,7 @@ from repro.sim.node import Agent
 from repro.sim.packet import (
     Packet,
     PacketKind,
+    PacketPool,
     TfrcDataHeader,
     TfrcFeedbackHeader,
 )
@@ -56,6 +57,7 @@ class TfrcSender(Agent):
         self._send_event = None
         self._last_send_time = 0.0
         self._nofeedback = Timer(sim, self._on_nofeedback)
+        self._pool = PacketPool.of(sim)
         self.rate_log: list[tuple[float, float]] = []
 
     # ------------------------------------------------------------------
@@ -99,20 +101,38 @@ class TfrcSender(Agent):
         self._send_event = self.sim.schedule_at(due, self._send_next)
 
     def _transmit_one(self) -> None:
-        header = TfrcDataHeader(
-            seq=self.next_seq,
-            timestamp=self.sim.now,
-            rtt_estimate=self.controller.current_rtt or 0.0,
+        now = self.sim.now
+        src = self.node.name if self.node else "?"
+        rtt = self.controller.current_rtt or 0.0
+        pool = self._pool
+        packet = (
+            pool.acquire(
+                TfrcDataHeader, src, self.dst, self.flow_id,
+                self.segment_size, PacketKind.DATA, now,
+            )
+            if pool is not None
+            else None
         )
-        packet = Packet(
-            src=self.node.name if self.node else "?",
-            dst=self.dst,
-            flow_id=self.flow_id,
-            size=self.segment_size,
-            kind=PacketKind.DATA,
-            header=header,
-            created_at=self.sim.now,
-        )
+        if packet is not None:
+            header = packet.header
+            header.seq = self.next_seq
+            header.timestamp = now
+            header.rtt_estimate = rtt
+            header.forward_ack = 0
+        else:
+            packet = Packet(
+                src=src,
+                dst=self.dst,
+                flow_id=self.flow_id,
+                size=self.segment_size,
+                kind=PacketKind.DATA,
+                header=TfrcDataHeader(
+                    seq=self.next_seq, timestamp=now, rtt_estimate=rtt
+                ),
+                created_at=now,
+            )
+            if pool is not None:
+                packet.pooled = True  # recyclable at its terminal sink
         self.next_seq += 1
         self.sent_packets += 1
         self.sent_bytes += packet.size
@@ -134,6 +154,8 @@ class TfrcSender(Agent):
         self.rate_log.append((self.sim.now, self.controller.rate))
         self._nofeedback.restart(self.controller.nofeedback_interval())
         self._reschedule_send()
+        if self._pool is not None:  # report fully consumed: recycle
+            self._pool.release(packet)
 
     def _on_nofeedback(self) -> None:
         if not self._running:

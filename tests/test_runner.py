@@ -441,3 +441,243 @@ class TestRunRecord:
         assert a == b
         assert a.seed == 1
         assert RunRecord("s", {}, None).seed is None
+
+class TestWarmPool:
+    """The persistent worker pool reused across run_matrix calls (PR 4)."""
+
+    SMALL = dict(n_cross=1, duration=2.0, warmup=0.5, bottleneck_bps=2e6)
+
+    def test_second_call_reuses_the_pool(self):
+        from repro.harness.runner import shutdown_warm_pool, warm_pool_stats
+
+        shutdown_warm_pool()
+        before = warm_pool_stats()
+        grid = {"protocol": ("tcp", "gtfrc")}
+        first = run_matrix("af_assurance", grid,
+                           base={**self.SMALL, "target_bps": 1e6}, workers=2)
+        second = run_matrix("af_assurance", grid,
+                            base={**self.SMALL, "target_bps": 1e6}, workers=2)
+        stats = warm_pool_stats()
+        assert stats["created"] == before["created"] + 1
+        assert stats["reused"] >= before["reused"] + 1
+        assert first == second
+
+    def test_warm_records_identical_to_cold_serial(self):
+        import pickle
+
+        from repro.harness.runner import shutdown_warm_pool
+
+        grid = {"protocol": ("tcp", "gtfrc")}
+        base = {**self.SMALL, "target_bps": 1e6}
+        warm = run_matrix("af_assurance", grid, base=base, workers=2)
+        shutdown_warm_pool()
+        cold = run_matrix("af_assurance", grid, base=base, workers=1)
+        assert warm == cold
+        # byte-identical payloads, not just dataclass equality.  Fields
+        # are pickled separately: a combined pickle also encodes object
+        # *sharing* between params and result (an in-process record can
+        # alias the same float object in both), which IPC neither can
+        # nor should preserve.
+        for w, c in zip(warm, cold):
+            assert pickle.dumps(w.scenario) == pickle.dumps(c.scenario)
+            assert pickle.dumps(w.params) == pickle.dumps(c.params)
+            assert pickle.dumps(w.result) == pickle.dumps(c.result)
+
+    def test_worker_count_change_retires_the_pool(self):
+        from repro.harness.runner import shutdown_warm_pool, warm_pool_stats
+
+        shutdown_warm_pool()
+        grid = {"protocol": ("tcp", "gtfrc")}
+        base = {**self.SMALL, "target_bps": 1e6}
+        run_matrix("af_assurance", grid, base=base, workers=2)
+        created = warm_pool_stats()["created"]
+        run_matrix("af_assurance", grid, base=base, workers=3)
+        assert warm_pool_stats()["created"] == created + 1
+
+    def test_worker_error_discards_the_pool(self):
+        from repro.harness import runner as runner_mod
+
+        runner_mod.shutdown_warm_pool()
+        with pytest.raises(ValueError):
+            run_matrix(
+                "af_assurance",
+                {"protocol": ("tcp", "nope-not-a-protocol")},
+                base={**self.SMALL, "target_bps": 1e6},
+                workers=2,
+            )
+        assert runner_mod._WARM_POOL is None
+
+    def test_shutdown_is_idempotent(self):
+        from repro.harness.runner import shutdown_warm_pool
+
+        shutdown_warm_pool()
+        shutdown_warm_pool()
+
+    def test_chunksize_heuristic(self):
+        from repro.harness.runner import _chunksize
+
+        assert _chunksize(4, 2) == 1     # small grid: best balancing
+        assert _chunksize(64, 2) == 8    # large grid: batched IPC
+        assert _chunksize(1, 8) == 1
+
+    def test_run_record_positional_pickle_roundtrip(self):
+        import pickle
+
+        record = RunRecord("s", {"seed": 3}, result={"x": 1.5},
+                           elapsed=0.25, cached=False, worker_pid=77)
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone == record
+        assert clone.elapsed == 0.25 and clone.worker_pid == 77
+
+
+def _stress_store(args):
+    """Top-level worker: hammer one sqlite cache with stores."""
+    path, worker, n_records = args
+    cache = SqliteSweepCache(path)
+    for i in range(n_records):
+        cache.store(
+            RunRecord(
+                scenario="stress",
+                params={"worker": worker, "i": i, "seed": i},
+                result={"value": worker * 1000 + i},
+            )
+        )
+    return worker
+
+
+class TestSqliteConcurrency:
+    def test_concurrent_writers_do_not_corrupt_the_store(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "stress.db"
+        n_procs, n_records = 4, 25
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=n_procs) as pool:
+            done = pool.map(
+                _stress_store,
+                [(path, w, n_records) for w in range(n_procs)],
+            )
+        assert sorted(done) == list(range(n_procs))
+        # every row must be durably present...
+        import sqlite3
+        import time as time_mod
+
+        with sqlite3.connect(path, timeout=30.0) as conn:
+            count = conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        assert count == n_procs * n_records
+        # ...and loadable through the cache API.  load() maps a
+        # transiently locked database to a miss by design, so allow a
+        # brief retry before calling a miss real.
+        cache = SqliteSweepCache(path)
+        for worker in range(n_procs):
+            for i in range(n_records):
+                params = {"worker": worker, "i": i, "seed": i}
+                record = cache.load("stress", params)
+                for _ in range(20):
+                    if record is not None:
+                        break
+                    time_mod.sleep(0.05)
+                    record = cache.load("stress", params)
+                assert record is not None, (worker, i)
+                assert record.result == {"value": worker * 1000 + i}
+                assert record.cached
+
+    def test_wal_mode_is_enabled(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "wal.db"
+        SqliteSweepCache(path).store(
+            RunRecord(scenario="s", params={"seed": 0}, result=1)
+        )
+        with sqlite3.connect(path) as conn:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+
+class TestBenchHistory:
+    def test_history_rejected_with_check(self, capsys, tmp_path):
+        code = cli_main(
+            ["bench", "--check", "--history", str(tmp_path / "hist"),
+             "--output", str(tmp_path / "none.json")]
+        )
+        assert code == 2
+        assert "read-only" in capsys.readouterr().err
+
+    def test_append_history_writes_timestamped_snapshots(self, tmp_path):
+        from repro.harness import bench as bench_mod
+
+        record = {"schema": 1, "current": {"metrics": {}}}
+        first = bench_mod.append_history(tmp_path / "hist", record)
+        second = bench_mod.append_history(tmp_path / "hist", record)
+        assert first.exists() and second.exists()
+        assert first != second  # same-second runs get a suffix, not a clobber
+        assert first.name.startswith("BENCH_") and first.suffix == ".json"
+        import json
+
+        assert json.loads(first.read_text()) == record
+
+
+class TestWarmPoolRegistryKey:
+    def test_scenario_registered_after_fork_retires_the_pool(self):
+        # forked workers carry the registry of their fork moment; a
+        # scenario registered afterwards must force a re-fork, not a
+        # KeyError inside a stale worker
+        from repro.harness import runner as runner_mod
+        from repro.harness.registry import _REGISTRY, register
+
+        runner_mod.shutdown_warm_pool()
+        base = dict(n_cross=1, duration=2.0, warmup=0.5,
+                    bottleneck_bps=2e6, target_bps=1e6)
+        run_matrix("af_assurance", {"protocol": ("tcp", "gtfrc")},
+                   base=base, workers=2)
+        created = runner_mod.warm_pool_stats()["created"]
+
+        @register("wp_dynamic_probe", grid={})
+        def wp_dynamic_probe(seed: int = 0) -> dict:
+            return {"seed": seed, "value": seed * 2}
+
+        try:
+            records = run_matrix("wp_dynamic_probe", {"seed": (0, 1)},
+                                 workers=2)
+            assert [r.result["value"] for r in records] == [0, 2]
+            assert runner_mod.warm_pool_stats()["created"] == created + 1
+        finally:
+            _REGISTRY.pop("wp_dynamic_probe", None)
+            runner_mod.shutdown_warm_pool()
+
+
+class TestWarmPoolConcurrency:
+    def test_concurrent_mismatched_sweeps_both_complete(self):
+        # thread B's different worker count must not terminate the pool
+        # thread A is mid-sweep on; B gets a transient pool instead
+        import threading
+
+        from repro.harness import runner as runner_mod
+
+        runner_mod.shutdown_warm_pool()
+        base = dict(n_cross=1, duration=2.0, warmup=0.5,
+                    bottleneck_bps=2e6, target_bps=1e6)
+        grid = {"protocol": ("tcp", "gtfrc"), "seed": (0, 1)}
+        results = {}
+        errors = []
+
+        def sweep(tag, workers):
+            try:
+                results[tag] = run_matrix("af_assurance", grid, base=base,
+                                          workers=workers)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append((tag, exc))
+
+        threads = [
+            threading.Thread(target=sweep, args=("a", 2)),
+            threading.Thread(target=sweep, args=("b", 3)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        serial = run_matrix("af_assurance", grid, base=base, workers=1)
+        assert results["a"] == serial
+        assert results["b"] == serial
+        runner_mod.shutdown_warm_pool()

@@ -72,6 +72,21 @@ class TestLinkDelivery:
         sim.run()
         assert link.stats.utilization(8000.0, 2.0) == pytest.approx(0.5)
 
+    def test_utilization_degenerate_window_is_zero(self):
+        # a warmup-clipped summary window can collapse to zero or go
+        # negative; that must report 0.0, not divide by zero
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_simplex_link("a", "b", rate_bps=8000.0, delay=0.0)
+        net.compute_routes()
+        Sink(sim).attach(net.node("b"), "f")
+        net.node("a").send(make_pkt("b", size=1000))
+        sim.run()
+        assert link.stats.tx_bytes > 0
+        assert link.stats.utilization(8000.0, 0.0) == 0.0
+        assert link.stats.utilization(8000.0, -1.0) == 0.0
+        assert link.stats.utilization(0.0, 2.0) == 0.0
+
     def test_link_validates_args(self):
         sim = Simulator()
         net = Network(sim)
