@@ -5,8 +5,9 @@ experiment index.  Tables are written to ``benchmarks/results/*.txt``
 (so they survive pytest's output capture) and echoed to the real
 stdout for interactive runs.
 
-The sweep-driven benchmarks call :func:`repro.harness.runner.run_matrix`
-instead of hand-rolled loops: results are memoized under
+The sweep-driven benchmarks declare :class:`repro.api.Experiment`
+sweeps and query the returned :class:`repro.api.ResultSet` instead of
+hand-rolling loops and dicts: results are memoized under
 ``results/.sweep-cache`` (keyed by scenario, params, seed and a hash of
 the ``repro`` sources), so re-running an unchanged benchmark matrix is
 free, and ``REPRO_SWEEP_WORKERS`` fans the runs out across processes.

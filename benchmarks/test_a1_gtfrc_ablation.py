@@ -9,13 +9,15 @@ Compares the guaranteed-rate mechanisms on the T1 configuration:
 
 Expected: both QoS-aware variants hold the reservation where plain
 TFRC undershoots; the hard floor is the most exact.
+
+Driven by the :mod:`repro.api` Experiment/ResultSet front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.api import Experiment
 from repro.harness.experiments.ablation import gtfrc_ablation_scenario
-from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
 
 
@@ -27,21 +29,23 @@ VARIANTS = ("floor", "p-scaling", "none")
 
 @pytest.fixture(scope="module")
 def runs():
-    records = run_matrix(
-        "gtfrc_ablation",
-        {"variant": VARIANTS},
-        base=dict(target_bps=TARGET, seed=3),
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("gtfrc_ablation")
+        .sweep(variant=VARIANTS)
+        .configure(target_bps=TARGET, seed=3)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {r.params["variant"]: r.result for r in records}
 
 
 def test_a1_table(runs, benchmark):
-    rows = [
-        [v, r.achieved_bps / 1e6, r.achieved_bps / TARGET, r.floor_hits]
-        for v, r in runs.items()
-    ]
+    rows = []
+    for v in VARIANTS:
+        r = runs.one(variant=v)
+        rows.append(
+            [v, r.achieved_bps / 1e6, r.achieved_bps / TARGET, r.floor_hits]
+        )
     emit_table(
         "a1_gtfrc_ablation",
         format_table(
@@ -55,10 +59,11 @@ def test_a1_table(runs, benchmark):
 
 
 def test_a1_qos_variants_beat_plain_tfrc(runs):
-    assert runs["floor"].achieved_bps > runs["none"].achieved_bps
-    assert runs["p-scaling"].achieved_bps > runs["none"].achieved_bps
+    none = runs.value("achieved_bps", variant="none")
+    assert runs.value("achieved_bps", variant="floor") > none
+    assert runs.value("achieved_bps", variant="p-scaling") > none
 
 
 def test_a1_floor_most_exact(runs):
-    floor_err = abs(runs["floor"].achieved_bps / TARGET - 1.0)
+    floor_err = abs(runs.value("achieved_bps", variant="floor") / TARGET - 1.0)
     assert floor_err < 0.1

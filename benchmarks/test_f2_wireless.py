@@ -6,13 +6,18 @@ ad-hoc regime of refs [1] and [9]).  Expected shape: comparable at low
 loss; TFRC increasingly ahead as loss grows (TCP melts down to RTO
 backoff under loss bursts).  A Bernoulli column is included to show
 that the advantage is specific to bursty loss.
+
+The chain itself is now spec-compiled (``lossy_chain_spec`` +
+``ChannelSpec``) and the sweep runs through
+:class:`repro.api.Experiment` — the committed table is byte-identical
+to the hand-built version both replaced.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import lossy_path_scenario
+from repro.api import Experiment
+from repro.harness.experiments.lossy_path import lossy_path_scenario
 from repro.harness.tables import format_table
 
 pytestmark = pytest.mark.slow
@@ -23,30 +28,27 @@ CONFIG = dict(n_hops=3, duration=40.0, warmup=10.0, seed=2)
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "lossy_path",
-        {
-            "loss_rate": LOSS_RATES,
-            "protocol": ("tcp", "tfrc"),
-            "bursty": (True, False),
-        },
-        base=CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("lossy_path")
+        .sweep(
+            loss_rate=LOSS_RATES,
+            protocol=("tcp", "tfrc"),
+            bursty=(True, False),
+        )
+        .configure(**CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.params["loss_rate"], r.params["protocol"], r.params["bursty"]): r.result
-        for r in records
-    }
 
 
 def test_f2_table(sweep, benchmark):
     rows = []
     for loss in LOSS_RATES:
-        tcp_b = sweep[(loss, "tcp", True)].goodput_bps
-        tfrc_b = sweep[(loss, "tfrc", True)].goodput_bps
-        tcp_u = sweep[(loss, "tcp", False)].goodput_bps
-        tfrc_u = sweep[(loss, "tfrc", False)].goodput_bps
+        tcp_b = sweep.value("goodput_bps", loss_rate=loss, protocol="tcp", bursty=True)
+        tfrc_b = sweep.value("goodput_bps", loss_rate=loss, protocol="tfrc", bursty=True)
+        tcp_u = sweep.value("goodput_bps", loss_rate=loss, protocol="tcp", bursty=False)
+        tfrc_u = sweep.value("goodput_bps", loss_rate=loss, protocol="tfrc", bursty=False)
         rows.append(
             [
                 f"{loss * 100:.1f}%",
@@ -77,14 +79,15 @@ def test_f2_table(sweep, benchmark):
 
 def test_f2_tfrc_ahead_under_bursty_loss(sweep):
     for loss in LOSS_RATES[2:]:
-        tcp = sweep[(loss, "tcp", True)].goodput_bps
-        tfrc = sweep[(loss, "tfrc", True)].goodput_bps
+        tcp = sweep.value("goodput_bps", loss_rate=loss, protocol="tcp", bursty=True)
+        tfrc = sweep.value("goodput_bps", loss_rate=loss, protocol="tfrc", bursty=True)
         assert tfrc > tcp, loss
 
 
 def test_f2_advantage_grows_with_loss(sweep):
     def ratio(loss):
-        tcp = sweep[(loss, "tcp", True)].goodput_bps
-        return sweep[(loss, "tfrc", True)].goodput_bps / max(tcp, 1e3)
+        tcp = sweep.value("goodput_bps", loss_rate=loss, protocol="tcp", bursty=True)
+        tfrc = sweep.value("goodput_bps", loss_rate=loss, protocol="tfrc", bursty=True)
+        return tfrc / max(tcp, 1e3)
 
     assert ratio(LOSS_RATES[-1]) > ratio(LOSS_RATES[0])

@@ -3,13 +3,15 @@
 Regenerates the accuracy figure behind QTPlight: on one packet stream,
 the sender's SACK-reconstructed loss event rate against a shadow
 RFC 3448 receiver-side estimator, across channel loss rates.
+
+Driven by the :mod:`repro.api` Experiment/ResultSet front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import estimation_accuracy_scenario
+from repro.api import Experiment
+from repro.harness.experiments.estimation import estimation_accuracy_scenario
 from repro.harness.tables import format_table
 
 
@@ -20,20 +22,20 @@ LOSS_RATES = (0.005, 0.01, 0.02, 0.04, 0.08)
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "estimation_accuracy",
-        {"loss_rate": LOSS_RATES},
-        base=dict(duration=50.0, warmup=10.0, seed=2),
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("estimation_accuracy")
+        .sweep(loss_rate=LOSS_RATES)
+        .configure(duration=50.0, warmup=10.0, seed=2)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {r.params["loss_rate"]: r.result for r in records}
 
 
 def test_f3_table(sweep, benchmark):
     rows = []
     for loss in LOSS_RATES:
-        r = sweep[loss]
+        r = sweep.one(loss_rate=loss)
         rows.append(
             [
                 f"{loss * 100:.1f}%",
@@ -64,9 +66,11 @@ def test_f3_table(sweep, benchmark):
 
 def test_f3_agreement_within_ten_percent(sweep):
     for loss in LOSS_RATES[1:]:
-        assert sweep[loss].mean_abs_rel_error < 0.10, loss
+        assert sweep.value("mean_abs_rel_error", loss_rate=loss) < 0.10, loss
 
 
 def test_f3_estimates_track_channel(sweep):
     for loss in (0.02, 0.04, 0.08):
-        assert sweep[loss].mean_p_sender == pytest.approx(loss, rel=0.5)
+        assert sweep.value("mean_p_sender", loss_rate=loss) == pytest.approx(
+            loss, rel=0.5
+        )

@@ -4,13 +4,15 @@ Regenerates the sharing figure: one TFRC flow against N TCP flows on an
 8 Mb/s RED bottleneck.  The normalized throughput (TFRC rate over the
 mean TCP rate) should stay within the conventional [0.5, 2] friendliness
 band across N, with a high Jain index.
+
+Driven by the :mod:`repro.api` Experiment/ResultSet front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import friendliness_scenario
+from repro.api import Experiment
+from repro.harness.experiments.friendliness import friendliness_scenario
 from repro.harness.tables import format_table
 
 pytestmark = pytest.mark.slow
@@ -20,20 +22,20 @@ N_TCP = (1, 2, 4, 8, 16)
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "friendliness",
-        {"n_tcp": N_TCP},
-        base=dict(duration=60.0, warmup=15.0, seed=2),
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("friendliness")
+        .sweep(n_tcp=N_TCP)
+        .configure(duration=60.0, warmup=15.0, seed=2)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {r.params["n_tcp"]: r.result for r in records}
 
 
 def test_f4_table(sweep, benchmark):
     rows = []
     for n in N_TCP:
-        r = sweep[n]
+        r = sweep.one(n_tcp=n)
         rows.append(
             [n, r.tfrc_bps / 1e6, r.tcp_mean_bps / 1e6, r.normalized, r.jain]
         )
@@ -56,9 +58,9 @@ def test_f4_table(sweep, benchmark):
 
 def test_f4_friendliness_band(sweep):
     for n in N_TCP:
-        assert 0.4 <= sweep[n].normalized <= 2.0, n
+        assert 0.4 <= sweep.value("normalized", n_tcp=n) <= 2.0, n
 
 
 def test_f4_jain_high(sweep):
     for n in N_TCP:
-        assert sweep[n].jain > 0.85, n
+        assert sweep.value("jain", n_tcp=n) > 0.85, n

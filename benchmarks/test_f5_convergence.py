@@ -6,13 +6,16 @@ below the reservation, taking seconds to crawl back; gTFRC's floor
 keeps the assured flow at ``g`` throughout.  The figure is the assured
 flow's throughput time series around the step; the table reports the
 dip depth and the time spent below 90% of ``g``.
+
+Driven by the :mod:`repro.api` Experiment/ResultSet front door; the
+series "figure" reads the result's payload (non-metric) field.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.api import Experiment
 from repro.harness.experiments.convergence import convergence_scenario
-from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
 
 
@@ -20,30 +23,33 @@ pytestmark = pytest.mark.slow
 
 TARGET = 5e6
 STEP_TIME = 20.0
+PROTOCOLS = ("tfrc", "gtfrc")
 
 
 @pytest.fixture(scope="module")
 def runs():
-    records = run_matrix(
-        "convergence",
-        {"protocol": ("tfrc", "gtfrc")},
-        base=dict(target_bps=TARGET, step_time=STEP_TIME, seed=3),
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("convergence")
+        .sweep(protocol=PROTOCOLS)
+        .configure(target_bps=TARGET, step_time=STEP_TIME, seed=3)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {r.params["protocol"]: r.result for r in records}
 
 
 def test_f5_table(runs, benchmark):
-    rows = [
-        [
-            proto,
-            r.min_after_step / 1e6,
-            r.time_below_90pct,
-            r.mean_after_step / 1e6,
-        ]
-        for proto, r in runs.items()
-    ]
+    rows = []
+    for proto in PROTOCOLS:
+        r = runs.one(protocol=proto)
+        rows.append(
+            [
+                proto,
+                r.min_after_step / 1e6,
+                r.time_below_90pct,
+                r.mean_after_step / 1e6,
+            ]
+        )
     emit_table(
         "f5_convergence",
         format_table(
@@ -54,9 +60,11 @@ def test_f5_table(runs, benchmark):
                   "(8 TCP join)",
         ),
     )
-    # series "figure" as a coarse text sparkline
+    # series "figure" as a coarse text sparkline (a payload field, not
+    # a metric — read through the result object)
     marks = " ".join(
-        f"{v / 1e6:.1f}" for v in runs["gtfrc"].series_bps[::5]
+        f"{v / 1e6:.1f}"
+        for v in runs.one(protocol="gtfrc").series_bps[::5]
     )
     emit_table("f5_series_gtfrc", "gTFRC Mb/s every 5 s: " + marks)
     benchmark.pedantic(convergence_scenario, args=("gtfrc",), rounds=1,
@@ -64,9 +72,12 @@ def test_f5_table(runs, benchmark):
 
 
 def test_f5_gtfrc_holds_through_step(runs):
-    assert runs["gtfrc"].time_below_90pct <= 3.0
-    assert runs["gtfrc"].mean_after_step >= 0.9 * TARGET
+    gtfrc = runs.one(protocol="gtfrc")
+    assert gtfrc.time_below_90pct <= 3.0
+    assert gtfrc.mean_after_step >= 0.9 * TARGET
 
 
 def test_f5_tfrc_dips_deeper(runs):
-    assert runs["tfrc"].min_after_step < runs["gtfrc"].min_after_step
+    assert runs.value("min_after_step", protocol="tfrc") < runs.value(
+        "min_after_step", protocol="gtfrc"
+    )

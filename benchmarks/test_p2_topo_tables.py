@@ -14,12 +14,15 @@ ROADMAP open item that nothing produced tables for them):
 * ``hetero_sla`` — mixed committed rates inside one AF class.
   Expected shape: every guarantee holds regardless of size (min ratio
   ≈ 1) and Jain fairness over the assurance ratios stays near 1.
+
+All three sweeps run through the :mod:`repro.api` Experiment/ResultSet
+front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
+from repro.api import Experiment
 from repro.harness.tables import format_table
 
 pytestmark = pytest.mark.slow
@@ -39,47 +42,38 @@ HS_CONFIG = dict(n_cross=4, seed=3)
 
 @pytest.fixture(scope="module")
 def parking_lot():
-    records = run_matrix(
-        "parking_lot",
-        {"protocol": PL_PROTOCOLS, "target_bps": PL_TARGETS},
-        base=PL_CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("parking_lot")
+        .sweep(protocol=PL_PROTOCOLS, target_bps=PL_TARGETS)
+        .configure(**PL_CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.params["protocol"], r.params["target_bps"]): r.result
-        for r in records
-    }
 
 
 @pytest.fixture(scope="module")
 def reverse_path():
-    records = run_matrix(
-        "reverse_path_chain",
-        {"protocol": RP_PROTOCOLS, "n_reverse": RP_BURSTS},
-        base=RP_CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("reverse_path_chain")
+        .sweep(protocol=RP_PROTOCOLS, n_reverse=RP_BURSTS)
+        .configure(**RP_CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.params["protocol"], r.params["n_reverse"]): r.result
-        for r in records
-    }
 
 
 @pytest.fixture(scope="module")
 def hetero():
-    records = run_matrix(
-        "hetero_sla",
-        {"protocol": HS_PROTOCOLS, "targets_mbps": HS_MIXES},
-        base=HS_CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("hetero_sla")
+        .sweep(protocol=HS_PROTOCOLS, targets_mbps=HS_MIXES)
+        .configure(**HS_CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.params["protocol"], r.params["targets_mbps"]): r.result
-        for r in records
-    }
 
 
 # ----------------------------------------------------------------------
@@ -89,7 +83,7 @@ def test_p2_parking_lot_table(parking_lot):
     rows = []
     for target in PL_TARGETS:
         for proto in PL_PROTOCOLS:
-            r = parking_lot[(proto, target)]
+            r = parking_lot.one(protocol=proto, target_bps=target)
             rows.append(
                 [
                     f"{target / 1e6:.0f}",
@@ -116,7 +110,10 @@ def test_p2_parking_lot_table(parking_lot):
 
 
 def test_p2_parking_lot_tcp_erodes_across_domains(parking_lot):
-    ratios = [parking_lot[("tcp", t)].ratio for t in PL_TARGETS]
+    ratios = [
+        parking_lot.value("ratio", protocol="tcp", target_bps=t)
+        for t in PL_TARGETS
+    ]
     assert ratios[-1] < ratios[0]
     assert ratios[-1] < 0.95  # the reservation is not honoured
 
@@ -124,7 +121,7 @@ def test_p2_parking_lot_tcp_erodes_across_domains(parking_lot):
 def test_p2_parking_lot_gtfrc_holds_end_to_end(parking_lot):
     for proto in ("gtfrc", "qtpaf"):
         for target in PL_TARGETS:
-            r = parking_lot[(proto, target)]
+            r = parking_lot.one(protocol=proto, target_bps=target)
             assert r.ratio >= 0.95, (proto, target)
             assert r.hop1_green_drop_ratio < 0.01
             assert r.hop2_green_drop_ratio < 0.01
@@ -132,9 +129,9 @@ def test_p2_parking_lot_gtfrc_holds_end_to_end(parking_lot):
 
 def test_p2_parking_lot_conditioned_beats_tcp_at_high_g(parking_lot):
     target = PL_TARGETS[-1]
-    tcp = parking_lot[("tcp", target)].ratio
+    tcp = parking_lot.value("ratio", protocol="tcp", target_bps=target)
     for proto in ("gtfrc", "qtpaf"):
-        assert parking_lot[(proto, target)].ratio > tcp
+        assert parking_lot.value("ratio", protocol=proto, target_bps=target) > tcp
 
 
 # ----------------------------------------------------------------------
@@ -144,7 +141,7 @@ def test_p2_reverse_path_table(reverse_path):
     rows = []
     for burst in RP_BURSTS:
         for proto in RP_PROTOCOLS:
-            r = reverse_path[(proto, burst)]
+            r = reverse_path.one(protocol=proto, n_reverse=burst)
             rows.append(
                 [
                     burst,
@@ -171,15 +168,15 @@ def test_p2_reverse_path_table(reverse_path):
 def test_p2_reverse_path_floor_survives_feedback_attack(reverse_path):
     for proto in ("gtfrc", "qtpaf"):
         for burst in RP_BURSTS:
-            r = reverse_path[(proto, burst)]
+            r = reverse_path.one(protocol=proto, n_reverse=burst)
             assert r.feedback_received > 100, (proto, burst)
             assert r.ratio >= 0.9, (proto, burst)
 
 
 def test_p2_reverse_path_drops_grow_with_burst(reverse_path):
     for proto in RP_PROTOCOLS:
-        light = reverse_path[(proto, RP_BURSTS[0])]
-        heavy = reverse_path[(proto, RP_BURSTS[-1])]
+        light = reverse_path.one(protocol=proto, n_reverse=RP_BURSTS[0])
+        heavy = reverse_path.one(protocol=proto, n_reverse=RP_BURSTS[-1])
         assert heavy.reverse_drop_ratio > light.reverse_drop_ratio
         assert heavy.reverse_total_bps > 0
 
@@ -191,7 +188,7 @@ def test_p2_hetero_sla_table(hetero):
     rows = []
     for mix in HS_MIXES:
         for proto in HS_PROTOCOLS:
-            r = hetero[(proto, mix)]
+            r = hetero.one(protocol=proto, targets_mbps=mix)
             rows.append(
                 [
                     mix,
@@ -221,11 +218,14 @@ def test_p2_hetero_small_guarantees_are_safe(hetero):
     # small reservation must not be starved next to a big one
     for proto in ("gtfrc", "qtpaf"):
         for mix in HS_MIXES:
-            r = hetero[(proto, mix)]
-            assert r.min_ratio >= 0.9, (proto, mix)
+            assert hetero.value(
+                "min_ratio", protocol=proto, targets_mbps=mix
+            ) >= 0.9, (proto, mix)
 
 
 def test_p2_hetero_fairness_over_ratios(hetero):
     for proto in ("gtfrc", "qtpaf"):
         for mix in HS_MIXES:
-            assert hetero[(proto, mix)].jain_fairness >= 0.97, (proto, mix)
+            assert hetero.value(
+                "jain_fairness", protocol=proto, targets_mbps=mix
+            ) >= 0.97, (proto, mix)

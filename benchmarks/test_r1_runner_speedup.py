@@ -1,11 +1,11 @@
 """R1 — sweep-runner scaling: 4 workers vs serial on the AF grid.
 
-Times the same AF-assurance sweep twice (cache disabled): serially
-in-process, then fanned out over 4 worker processes.  On a multi-core
-host the parallel sweep must be at least 1.5x faster; on fewer than 4
-CPUs the speedup assertion is skipped (process fan-out cannot beat the
-serial path without cores to run on) but the equality of results is
-still checked.
+Times the same AF-assurance :class:`repro.api.Experiment` twice (cache
+disabled): serially in-process, then fanned out over 4 worker
+processes.  On a multi-core host the parallel sweep must be at least
+1.5x faster; on fewer than 4 CPUs the speedup assertion is skipped
+(process fan-out cannot beat the serial path without cores to run on)
+but the equality of results is still checked.
 """
 
 import os
@@ -14,7 +14,7 @@ import time
 import pytest
 
 from conftest import emit_table
-from repro.harness.runner import run_matrix
+from repro.api import Experiment
 from repro.harness.tables import format_table
 
 pytestmark = pytest.mark.slow
@@ -25,31 +25,36 @@ WORKERS = 4
 
 
 def _timed(workers):
-    start = time.perf_counter()
-    records = run_matrix(
-        "af_assurance", GRID, base=CONFIG, workers=workers, cache_dir=None
+    experiment = (
+        Experiment("af_assurance")
+        .sweep(GRID)
+        .configure(**CONFIG)
+        .workers(workers)
+        .cache(None)
     )
-    return records, time.perf_counter() - start
+    start = time.perf_counter()
+    results = experiment.run()
+    return results, time.perf_counter() - start
 
 
 def test_r1_parallel_speedup():
-    serial_records, serial_s = _timed(1)
-    parallel_records, parallel_s = _timed(WORKERS)
+    serial_results, serial_s = _timed(1)
+    parallel_results, parallel_s = _timed(WORKERS)
     speedup = serial_s / parallel_s if parallel_s else float("inf")
     emit_table(
         "r1_runner_speedup",
         format_table(
             ["mode", "runs", "wall (s)", "speedup"],
             [
-                ["serial", len(serial_records), serial_s, 1.0],
-                [f"{WORKERS} workers", len(parallel_records), parallel_s, speedup],
+                ["serial", len(serial_results), serial_s, 1.0],
+                [f"{WORKERS} workers", len(parallel_results), parallel_s, speedup],
             ],
             title=f"R1: sweep-runner wall clock on the AF grid "
                   f"({os.cpu_count()} CPUs available)",
         ),
     )
     # parallel execution must never change the science
-    assert parallel_records == serial_records
+    assert parallel_results.records == serial_results.records
     if (os.cpu_count() or 1) >= WORKERS:
         assert speedup >= 1.5, f"expected >=1.5x on {os.cpu_count()} CPUs, got {speedup:.2f}x"
     else:

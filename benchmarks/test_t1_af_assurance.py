@@ -7,13 +7,18 @@ Seddigh-style TCP failure appears).  Expected shape: TCP's
 achieved/target ratio well below 1 and falling as ``g`` grows; plain
 TFRC in between; gTFRC and QTPAF pinned at ≈ 1.0 with zero in-profile
 drops.
+
+Driven by the :mod:`repro.api` front door: the sweep is an
+:class:`~repro.api.Experiment`, lookups go through
+:meth:`~repro.api.ResultSet.one` — the committed table is byte-identical
+to the ``run_matrix`` version this replaced.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import af_dumbbell_scenario
+from repro.api import Experiment
+from repro.harness.experiments.af_assurance import af_dumbbell_scenario
 from repro.harness.tables import format_table
 
 pytestmark = pytest.mark.slow
@@ -25,23 +30,21 @@ CONFIG = dict(n_cross=8, assured_access_delay=0.1, duration=40.0, warmup=10.0, s
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "af_assurance",
-        {"target_bps": TARGETS, "protocol": PROTOCOLS},
-        base=CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("af_assurance")
+        .sweep(target_bps=TARGETS, protocol=PROTOCOLS)
+        .configure(**CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.params["target_bps"], r.params["protocol"]): r.result for r in records
-    }
 
 
 def test_t1_table(sweep, benchmark):
     rows = []
     for target in TARGETS:
         for proto in PROTOCOLS:
-            r = sweep[(target, proto)]
+            r = sweep.one(target_bps=target, protocol=proto)
             rows.append(
                 [
                     f"{target / 1e6:.0f}",
@@ -73,19 +76,19 @@ def test_t1_table(sweep, benchmark):
 
 
 def test_t1_tcp_fails_increasingly(sweep):
-    ratios = [sweep[(t, "tcp")].ratio for t in TARGETS]
+    ratios = [sweep.value("ratio", target_bps=t, protocol="tcp") for t in TARGETS]
     assert ratios[-1] < 0.8
     assert ratios[-1] < ratios[0]
 
 
 def test_t1_qtpaf_holds_every_target(sweep):
     for target in TARGETS:
-        assert sweep[(target, "qtpaf")].ratio >= 0.9, target
+        assert sweep.value("ratio", target_bps=target, protocol="qtpaf") >= 0.9, target
 
 
 def test_t1_ordering_tcp_tfrc_gtfrc(sweep):
     for target in TARGETS[2:]:  # the discriminating high-target cells
-        tcp = sweep[(target, "tcp")].ratio
-        tfrc = sweep[(target, "tfrc")].ratio
-        qtpaf = sweep[(target, "qtpaf")].ratio
+        tcp = sweep.value("ratio", target_bps=target, protocol="tcp")
+        tfrc = sweep.value("ratio", target_bps=target, protocol="tfrc")
+        qtpaf = sweep.value("ratio", target_bps=target, protocol="qtpaf")
         assert tcp < qtpaf and tfrc < qtpaf

@@ -3,14 +3,15 @@
 The TCP bandwidth-assurance failure is RTT-dependent: the longer the
 assured flow's RTT relative to the cross traffic, the further TCP falls
 below its reservation, while QTPAF stays pinned.  This regenerates the
-achieved/target matrix over the assured flow's access delay.
+achieved/target matrix over the assured flow's access delay, driven by
+the :mod:`repro.api` Experiment/ResultSet front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import af_dumbbell_scenario
+from repro.api import Experiment
+from repro.harness.experiments.af_assurance import af_dumbbell_scenario
 from repro.harness.tables import format_table
 
 
@@ -23,17 +24,14 @@ CONFIG = dict(target_bps=5e6, n_cross=8, duration=40.0, warmup=10.0, seed=3)
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "af_assurance",
-        {"assured_access_delay": ACCESS_DELAYS, "protocol": PROTOCOLS},
-        base=CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("af_assurance")
+        .sweep(assured_access_delay=ACCESS_DELAYS, protocol=PROTOCOLS)
+        .configure(**CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.params["assured_access_delay"], r.params["protocol"]): r.result
-        for r in records
-    }
 
 
 def test_t2_table(sweep, benchmark):
@@ -42,7 +40,9 @@ def test_t2_table(sweep, benchmark):
         rtt_ms = (2 * (delay + 0.002) + 2 * 0.02) * 1e3
         row = [f"{rtt_ms:.0f}"]
         for proto in PROTOCOLS:
-            row.append(sweep[(delay, proto)].ratio)
+            row.append(
+                sweep.value("ratio", assured_access_delay=delay, protocol=proto)
+            )
         rows.append(row)
     emit_table(
         "t2_rtt_asymmetry",
@@ -62,10 +62,17 @@ def test_t2_table(sweep, benchmark):
 
 
 def test_t2_tcp_degrades_with_rtt(sweep):
-    first = sweep[(ACCESS_DELAYS[0], "tcp")].ratio
-    last = sweep[(ACCESS_DELAYS[-1], "tcp")].ratio
+    first = sweep.value(
+        "ratio", assured_access_delay=ACCESS_DELAYS[0], protocol="tcp"
+    )
+    last = sweep.value(
+        "ratio", assured_access_delay=ACCESS_DELAYS[-1], protocol="tcp"
+    )
     assert last < first
 
 def test_t2_qtpaf_rtt_insensitive(sweep):
-    ratios = [sweep[(d, "qtpaf")].ratio for d in ACCESS_DELAYS]
+    ratios = [
+        sweep.value("ratio", assured_access_delay=d, protocol="qtpaf")
+        for d in ACCESS_DELAYS
+    ]
     assert min(ratios) >= 0.9

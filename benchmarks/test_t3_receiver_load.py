@@ -6,6 +6,11 @@ rates, plus where the work went (the sender-side estimator).  The
 pytest-benchmark micro-kernels time the exact per-packet code paths in
 wall-clock terms: the RFC 3448 loss-event machinery vs the QTPlight
 SACK bookkeeping.
+
+The sweep runs through :class:`repro.api.Experiment`; lookups use the
+ResultSet's metric fallback (``profile_name`` is a *result* metric, not
+a sweep axis — the display-name join the old dict-building code did by
+hand).
 """
 
 import random
@@ -13,7 +18,7 @@ import random
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
+from repro.api import Experiment
 from repro.harness.tables import format_table
 from repro.sack.blocks import ReceiverSackState
 from repro.tfrc.loss_history import LossEventEstimator
@@ -29,23 +34,21 @@ LOSS_RATES = (0.0, 0.02, 0.05)
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "receiver_load",
-        {"profile": PROFILE_NAMES, "loss_rate": LOSS_RATES},
-        base=dict(duration=30.0, seed=2),
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("receiver_load")
+        .sweep(profile=PROFILE_NAMES, loss_rate=LOSS_RATES)
+        .configure(duration=30.0, seed=2)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {
-        (r.result.profile_name, r.params["loss_rate"]): r.result for r in records
-    }
 
 
 def test_t3_table(sweep, benchmark):
     rows = []
     for name in ("TFRC", "QTPlight", "QTPAF"):
         for loss in LOSS_RATES:
-            r = sweep[(name, loss)]
+            r = sweep.one(profile_name=name, loss_rate=loss)
             rows.append(
                 [
                     name,
@@ -105,12 +108,18 @@ def test_t3_qtplight_kernel(benchmark):
 
 def test_t3_receiver_load_ordering(sweep):
     for loss in LOSS_RATES:
-        light = sweep[("QTPlight", loss)].rx_ops_per_packet
-        std = sweep[("TFRC", loss)].rx_ops_per_packet
-        full = sweep[("QTPAF", loss)].rx_ops_per_packet
+        light = sweep.value(
+            "rx_ops_per_packet", profile_name="QTPlight", loss_rate=loss
+        )
+        std = sweep.value("rx_ops_per_packet", profile_name="TFRC", loss_rate=loss)
+        full = sweep.value("rx_ops_per_packet", profile_name="QTPAF", loss_rate=loss)
         assert light < std < full
 
 
 def test_t3_work_shifted_to_sender(sweep):
-    assert sweep[("QTPlight", 0.02)].tx_estimator_ops_per_packet > 0
-    assert sweep[("TFRC", 0.02)].tx_estimator_ops_per_packet == 0
+    assert sweep.value(
+        "tx_estimator_ops_per_packet", profile_name="QTPlight", loss_rate=0.02
+    ) > 0
+    assert sweep.value(
+        "tx_estimator_ops_per_packet", profile_name="TFRC", loss_rate=0.02
+    ) == 0

@@ -6,13 +6,15 @@ receiver-computed loss rate, so the lie doubles the cheater's share and
 starves the victim; QTPlight computes the loss rate at the sender and
 audits SACK coverage with never-sent sequence numbers, so the cheater
 is detected and throttled to the protocol floor.
+
+Driven by the :mod:`repro.api` Experiment/ResultSet front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import selfish_receiver_scenario
+from repro.api import Experiment
+from repro.harness.experiments.selfish import selfish_receiver_scenario
 from repro.harness.tables import format_table
 
 
@@ -23,21 +25,21 @@ CONFIG = dict(duration=60.0, warmup=15.0, seed=2)
 
 @pytest.fixture(scope="module")
 def matrix():
-    records = run_matrix(
-        "selfish_receiver",
-        {"mode": ("tfrc", "qtplight"), "lying": (False, True)},
-        base=CONFIG,
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("selfish_receiver")
+        .sweep(mode=("tfrc", "qtplight"), lying=(False, True))
+        .configure(**CONFIG)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {(r.params["mode"], r.params["lying"]): r.result for r in records}
 
 
 def test_t4_table(matrix, benchmark):
     rows = []
     for mode in ("tfrc", "qtplight"):
-        honest = matrix[(mode, False)]
-        lying = matrix[(mode, True)]
+        honest = matrix.one(mode=mode, lying=False)
+        lying = matrix.one(mode=mode, lying=True)
         rows.append(
             [
                 mode,
@@ -68,15 +70,19 @@ def test_t4_table(matrix, benchmark):
 
 
 def test_t4_standard_tfrc_cheatable(matrix):
-    assert matrix[("tfrc", True)].cheater_bps > 1.5 * matrix[("tfrc", False)].cheater_bps
+    lying = matrix.one(mode="tfrc", lying=True)
+    honest = matrix.one(mode="tfrc", lying=False)
+    assert lying.cheater_bps > 1.5 * honest.cheater_bps
 
 
 def test_t4_qtplight_throttles_cheater(matrix):
-    assert matrix[("qtplight", True)].cheater_bps < 0.1 * (
-        matrix[("qtplight", False)].cheater_bps
-    )
+    lying = matrix.one(mode="qtplight", lying=True)
+    honest = matrix.one(mode="qtplight", lying=False)
+    assert lying.cheater_bps < 0.1 * honest.cheater_bps
 
 
 def test_t4_victim_protected_under_qtplight(matrix):
     # with the cheater throttled, the honest victim keeps (at least) its share
-    assert matrix[("qtplight", True)].victim_bps >= matrix[("qtplight", False)].victim_bps
+    lying = matrix.one(mode="qtplight", lying=True)
+    honest = matrix.one(mode="qtplight", lying=False)
+    assert lying.victim_bps >= honest.victim_bps

@@ -5,14 +5,16 @@ over a 3%-lossy link under the four negotiable modes.  The decisive
 column is ``useful`` — the fraction of sent messages that arrived
 *before their playout deadline*: NONE loses frames outright, FULL
 repairs them but late, and the partial modes give the best of both.
+
+Driven by the :mod:`repro.api` Experiment/ResultSet front door.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.api import Experiment
 from repro.core.profile import ReliabilityMode
-from repro.harness.runner import run_matrix
-from repro.harness.scenarios import reliability_scenario
+from repro.harness.experiments.reliability import reliability_scenario
 from repro.harness.tables import format_table
 
 
@@ -28,20 +30,20 @@ MODES = (
 
 @pytest.fixture(scope="module")
 def sweep():
-    records = run_matrix(
-        "reliability_modes",
-        {"mode": tuple(m.value for m in MODES)},
-        base=dict(duration=60.0, seed=2),
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    return (
+        Experiment("reliability_modes")
+        .sweep(mode=tuple(m.value for m in MODES))
+        .configure(duration=60.0, seed=2)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
-    return {ReliabilityMode(r.params["mode"]): r.result for r in records}
 
 
 def test_t5_table(sweep, benchmark):
     rows = []
     for mode in MODES:
-        r = sweep[mode]
+        r = sweep.one(mode=mode.value)
         rows.append(
             [
                 r.mode,
@@ -76,17 +78,18 @@ def test_t5_table(sweep, benchmark):
 
 
 def test_t5_full_delivers_most(sweep):
-    assert sweep[ReliabilityMode.FULL].delivered >= sweep[ReliabilityMode.NONE].delivered
+    assert sweep.value("delivered", mode="full") >= sweep.value(
+        "delivered", mode="none"
+    )
 
 
 def test_t5_latency_ordering(sweep):
-    assert (
-        sweep[ReliabilityMode.NONE].p95_latency
-        < sweep[ReliabilityMode.FULL].p95_latency
+    assert sweep.value("p95_latency", mode="none") < sweep.value(
+        "p95_latency", mode="full"
     )
 
 
 def test_t5_partial_time_best_useful_ratio(sweep):
-    best = sweep[ReliabilityMode.PARTIAL_TIME].useful_ratio
-    assert best >= sweep[ReliabilityMode.NONE].useful_ratio - 0.01
-    assert best >= sweep[ReliabilityMode.FULL].useful_ratio - 0.01
+    best = sweep.value("useful_ratio", mode="partial-time")
+    assert best >= sweep.value("useful_ratio", mode="none") - 0.01
+    assert best >= sweep.value("useful_ratio", mode="full") - 0.01

@@ -1,20 +1,20 @@
 """T6 — versatility: one stack, many negotiated instances (paper §1).
 
 Regenerates the negotiation matrix (which capability pairs produce
-which instance) via the registered ``negotiation`` scenario sweep, and
-measures the cost of versatility itself: the time to negotiate and to
-compose a transport pair, and the wire handshake's one-round-trip
-establishment.
+which instance) via the registered ``negotiation`` scenario driven
+through :class:`repro.api.Experiment`, and measures the cost of
+versatility itself: the time to negotiate and to compose a transport
+pair, and the wire handshake's one-round-trip establishment.
 """
 
 import pytest
 
 from conftest import SWEEP_CACHE, emit_table, sweep_workers
+from repro.api import Experiment
 from repro.core.connection import Initiator, Responder
 from repro.core.negotiation import CapabilitySet, negotiate
 from repro.core.instances import TFRC_MEDIA, build_transport_pair
 from repro.harness.experiments.negotiation_matrix import NEGOTIATION_PAIRS
-from repro.harness.runner import run_matrix
 from repro.harness.tables import format_table
 from repro.sim.engine import Simulator
 from repro.sim.topology import dumbbell
@@ -24,15 +24,15 @@ pytestmark = pytest.mark.slow
 
 
 def test_t6_matrix(benchmark):
-    records = run_matrix(
-        "negotiation",
-        {"pair": NEGOTIATION_PAIRS},
-        workers=sweep_workers(),
-        cache_dir=SWEEP_CACHE,
+    results = (
+        Experiment("negotiation")
+        .sweep(pair=NEGOTIATION_PAIRS)
+        .workers(sweep_workers())
+        .cache(SWEEP_CACHE)
+        .run()
     )
     rows = []
-    for record in records:
-        r = record.result
+    for r in results.results:
         rows.append(
             [r.pair, r.instance, r.congestion_control, r.reliability, r.estimation]
         )

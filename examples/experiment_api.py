@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Walkthrough of the unified experiment API (``repro.api``).
+
+Define → run → aggregate → export, all through two classes:
+
+1. **Define** an :class:`~repro.api.Experiment` over a registered
+   scenario — axes, fixed configuration, seeds, workers, cache — with
+   every parameter name checked against the registry schema at the
+   call site.
+2. **Run** it; results come back as a typed, queryable
+   :class:`~repro.api.ResultSet` (deterministic grid order, memoized
+   on disk, warm multi-process fan-out).
+3. **Aggregate** over the seed axis into a paper-style summary table.
+4. **Export** rows as CSV/JSON for notebooks and dashboards.
+
+Run:  python examples/experiment_api.py
+The same sweep from the command line:
+
+    python -m repro.harness run lossy_path \
+        --sweep protocol=tcp,tfrc --sweep loss_rate=0.01,0.03 \
+        --set duration=20 --seeds 0,1,2 --format csv
+"""
+
+from pathlib import Path
+
+from repro.api import Experiment
+
+CACHE_DIR = Path(".sweep-cache")
+
+
+def main() -> None:
+    # 1. define — a typo in any parameter name raises right here
+    experiment = (
+        Experiment("lossy_path")
+        .sweep(protocol=("tcp", "tfrc"), loss_rate=(0.01, 0.03))
+        .configure(duration=20.0, warmup=5.0, bursty=True)
+        .seeds(range(3))
+        .workers(None)  # one per CPU
+        .cache(CACHE_DIR)
+    )
+    print(experiment, "\n")
+
+    # 2. run — records arrive in grid order, seeds fastest-varying
+    results = experiment.run(
+        progress=lambda r: print(
+            f"  {'cache' if r.cached else f'{r.elapsed:5.1f}s'}  "
+            f"{r.params['protocol']:>4} @ {r.params['loss_rate']:.0%} "
+            f"seed {r.params['seed']}"
+        )
+    )
+
+    # ... and answer point questions without dict-building boilerplate
+    tcp = results.one(protocol="tcp", loss_rate=0.03, seed=0)
+    print(f"\nTCP @ 3% loss (seed 0): {tcp.goodput_bps / 1e3:.0f} kb/s")
+
+    # 3. aggregate — fold the seed axis into mean/std/p50 summaries
+    summary = results.aggregate(
+        "goodput_bps", over="seed", stats=("mean", "std", "p50")
+    )
+    print()
+    print(
+        summary.table(
+            title="TCP vs TFRC goodput over a bursty 3-hop chain "
+            "(mean/std/p50 over 3 seeds)"
+        )
+    )
+
+    # slice first, aggregate after: ResultSet ops compose
+    tfrc_only = results.filter(protocol="tfrc")
+    print(
+        f"\nTFRC mean goodput across all runs: "
+        f"{sum(r.goodput_bps for r in tfrc_only.results) / len(tfrc_only) / 1e3:.0f} kb/s"
+    )
+
+    # 4. export — machine-readable forms for notebooks/dashboards
+    csv_path = Path("lossy_path_sweep.csv")
+    results.to_csv(csv_path)
+    print(f"\nfull sweep exported to {csv_path} "
+          f"({len(results)} rows; JSON via results.to_json())")
+
+
+if __name__ == "__main__":
+    main()

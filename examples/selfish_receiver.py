@@ -11,7 +11,7 @@ never-sent sequence numbers, so the cheater is caught and throttled.
 Run:  python examples/selfish_receiver.py
 """
 
-from repro.harness.scenarios import selfish_receiver_scenario
+from repro.harness import selfish_receiver_scenario
 
 
 def main() -> None:

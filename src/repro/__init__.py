@@ -16,10 +16,13 @@ substrate it depends on:
 * the versatile-transport composition framework with the two paper
   instances, QTPAF and QTPlight (:mod:`repro.core`),
 * application traffic models (:mod:`repro.apps`), measurement utilities
-  (:mod:`repro.metrics`) and an experiment harness (:mod:`repro.harness`).
+  (:mod:`repro.metrics`), declarative topology/scenario specs
+  (:mod:`repro.topo`) and an experiment harness (:mod:`repro.harness`).
 
-The public API re-exported here is the stable surface used by the
-examples and benchmarks.
+:mod:`repro.api` (``Experiment`` / ``ResultSet``) is the unified front
+door for defining, running and analyzing experiment sweeps; the
+simulator-level surface re-exported here is the stable substrate the
+examples and benchmarks build on.
 """
 
 from repro.core.instances import (

@@ -1,0 +1,182 @@
+""":class:`Experiment` — the fluent front door to scenario sweeps.
+
+An :class:`Experiment` names one registered scenario and accumulates
+the sweep definition — axes, fixed configuration, seeds, worker count,
+cache location — validating every parameter name against the registry
+schema *at call time*, so a typo fails where it was written instead of
+inside a worker process.  :meth:`run` executes through the existing
+warm :func:`~repro.harness.runner.run_matrix` machinery (deterministic
+grid order, on-disk memo, warm worker pool) and returns a
+:class:`~repro.api.resultset.ResultSet`.
+
+Typical use::
+
+    from repro.api import Experiment
+
+    results = (
+        Experiment("af_assurance")
+        .sweep(protocol=("tcp", "qtpaf"), target_bps=(2e6, 4e6))
+        .configure(n_cross=8, duration=40.0)
+        .seeds(range(5))
+        .workers(8)
+        .run()
+    )
+    print(results.aggregate("ratio", over="seed").table())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.resultset import ResultSet
+from repro.harness.registry import ScenarioSpec, get_scenario
+from repro.harness.runner import RunRecord, run_matrix
+
+__all__ = ["Experiment"]
+
+
+class Experiment:
+    """A declarative, schema-checked sweep over one registered scenario.
+
+    The builder methods mutate and return ``self`` so definitions read
+    as one fluent chain; :meth:`run` may be called repeatedly (e.g.
+    with different caches) — the definition is not consumed.
+    """
+
+    def __init__(self, scenario: Union[str, ScenarioSpec]):
+        if isinstance(scenario, ScenarioSpec):
+            # run() executes by registry name, so the spec must BE the
+            # registered one — a hand-built or modified spec would
+            # validate against one schema here and execute another
+            # function there, defeating the fail-at-call-site design
+            registered = get_scenario(scenario.name)
+            if registered is not scenario:
+                raise ValueError(
+                    f"spec {scenario.name!r} is not the registered "
+                    "ScenarioSpec; pass the object returned by "
+                    "repro.harness.registry.get_scenario()"
+                )
+            self._spec = scenario
+        else:
+            self._spec = get_scenario(scenario)
+        self._grid: Dict[str, Tuple[Any, ...]] = {}
+        self._base: Dict[str, Any] = {}
+        self._seeds: Optional[List[int]] = None
+        self._workers: Optional[int] = 1
+        self._cache_dir: Optional[Path] = None
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Experiment":
+        """Build directly from a registry :class:`ScenarioSpec`."""
+        return cls(spec)
+
+    # ------------------------------------------------------------------
+    # definition
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The registered scenario this experiment sweeps."""
+        return self._spec
+
+    @property
+    def grid(self) -> Dict[str, Tuple[Any, ...]]:
+        """The effective sweep grid (the registered default when empty)."""
+        return dict(self._grid) if self._grid else dict(self._spec.default_grid)
+
+    def _check_params(self, names: Iterable[str], what: str) -> None:
+        unknown = sorted(set(names) - set(self._spec.params))
+        if unknown:
+            raise ValueError(
+                f"scenario {self._spec.name!r} has no parameter(s) "
+                f"{unknown} (in {what}); known: {sorted(self._spec.params)}"
+            )
+
+    def sweep(
+        self,
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        /,
+        **kw_axes: Sequence[Any],
+    ) -> "Experiment":
+        """Add sweep axes (``param=values``); replaces the default grid.
+
+        Repeated calls accumulate; re-sweeping an axis replaces its
+        values.  Axis names are validated against the scenario schema
+        immediately, and every axis needs at least one value.
+        """
+        merged = {**(axes or {}), **kw_axes}
+        self._check_params(merged, "sweep")
+        for name, values in merged.items():
+            frozen = tuple(values)
+            if not frozen:
+                raise ValueError(f"sweep axis {name!r} has no values")
+            self._grid[name] = frozen
+        return self
+
+    def configure(self, **fixed: Any) -> "Experiment":
+        """Fix parameters for every run (a sweep axis wins on conflict)."""
+        self._check_params(fixed, "configure")
+        self._base.update(fixed)
+        return self
+
+    def seeds(self, seeds: Union[int, Iterable[int]]) -> "Experiment":
+        """Cross these seeds with every grid point (fastest-varying axis)."""
+        self._seeds = [seeds] if isinstance(seeds, int) else list(seeds)
+        if not self._seeds:
+            raise ValueError("need at least one seed")
+        return self
+
+    def workers(self, n: Optional[int]) -> "Experiment":
+        """Worker processes: 1 = in-process serial, ``None``/0 = one per CPU."""
+        self._workers = None if not n else int(n)
+        return self
+
+    def cache(self, directory: Optional[Union[str, Path]]) -> "Experiment":
+        """Memoize runs under ``directory`` (``None`` disables caching)."""
+        self._cache_dir = None if directory is None else Path(directory)
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self, progress: Optional[Callable[[RunRecord], None]] = None
+    ) -> ResultSet:
+        """Execute the sweep and return its :class:`ResultSet`.
+
+        Delegates to :func:`repro.harness.runner.run_matrix`: the grid
+        expands in axis-insertion order, seeds vary fastest, records
+        come back in deterministic grid order, completed runs are
+        memoized in the configured cache, and multi-worker runs reuse
+        the process-global warm pool.
+        """
+        records = run_matrix(
+            self._spec.name,
+            self._grid or None,
+            base=self._base or None,
+            seeds=self._seeds,
+            workers=self._workers,
+            cache_dir=self._cache_dir,
+            progress=progress,
+        )
+        return ResultSet(records)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        parts = [f"scenario={self._spec.name!r}", f"grid={self.grid!r}"]
+        if self._base:
+            parts.append(f"base={self._base!r}")
+        if self._seeds is not None:
+            parts.append(f"seeds={self._seeds!r}")
+        return f"Experiment({', '.join(parts)})"

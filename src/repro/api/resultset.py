@@ -1,0 +1,387 @@
+""":class:`ResultSet` — the typed, queryable container for sweep results.
+
+A :class:`ResultSet` wraps the :class:`~repro.harness.runner.RunRecord`
+list a sweep produced and answers the questions every benchmark and
+analysis script used to hand-roll:
+
+* **lookup** — :meth:`one` / :meth:`value` fetch the single run (or one
+  metric of it) matching a parameter/metric query;
+* **slicing** — :meth:`filter` and :meth:`group_by` carve the set by
+  parameters (or metrics), preserving deterministic grid order;
+* **aggregation** — :meth:`aggregate` folds an axis (typically
+  ``seed``) into mean/std/min/max/percentile summary rows;
+* **presentation** — :meth:`table` renders via
+  :func:`repro.harness.tables.format_table`, :meth:`to_rows` /
+  :meth:`to_csv` / :meth:`to_json` export machine-readable forms.
+
+Results are adapted through the
+:class:`~repro.harness.result.ScenarioResult` contract; legacy raw
+dict results are wrapped (with a one-time deprecation warning) so the
+container never exposes free-form payloads.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.harness.result import MappingResult, ScenarioResult, coerce_result
+from repro.harness.runner import RunRecord
+from repro.harness.tables import format_table
+from repro.metrics.stats import mean as _mean
+from repro.metrics.stats import percentile as _percentile
+from repro.metrics.stats import stddev as _stddev
+
+__all__ = ["ResultSet"]
+
+#: Named statistics understood by :meth:`ResultSet.aggregate`; ``pNN``
+#: strings (``p50``, ``p95``, ...) are resolved dynamically.
+_STATS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": _mean,
+    "std": _stddev,
+    "min": min,
+    "max": max,
+}
+
+
+def _stat_fn(stat: str) -> Callable[[Sequence[float]], float]:
+    fn = _STATS.get(stat)
+    if fn is not None:
+        return fn
+    if stat.startswith("p") and stat[1:].isdigit():
+        q = int(stat[1:])
+        if 0 <= q <= 100:
+            return lambda values: _percentile(values, q)
+    raise ValueError(
+        f"unknown statistic {stat!r}; known: "
+        f"{sorted(_STATS)} plus percentiles like 'p95'"
+    )
+
+
+#: Sentinel distinguishing "metric absent" from a legitimate None value.
+_MISSING = object()
+
+
+class ResultSet:
+    """An ordered, queryable collection of completed runs.
+
+    Iteration yields :class:`RunRecord` objects in the deterministic
+    grid order the runner produced; :attr:`results` yields the typed
+    :class:`ScenarioResult` values.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[RunRecord],
+        *,
+        _parent: Optional["ResultSet"] = None,
+    ):
+        self._records: List[RunRecord] = list(records)
+        # per-record coercion/metrics caches: query helpers visit every
+        # record per call, and computed @property metrics should be
+        # evaluated once per record, not once per table cell.  Derived
+        # sets (filter/group_by slices) share the parent's caches —
+        # they hold the same record objects (keys are record ids).
+        if _parent is not None:
+            self._coerced = _parent._coerced
+            self._metric_cache = _parent._metric_cache
+        else:
+            self._coerced: Dict[int, ScenarioResult] = {}
+            self._metric_cache: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        names = sorted({r.scenario for r in self._records})
+        return f"ResultSet({len(self._records)} runs, scenario={names})"
+
+    @property
+    def records(self) -> List[RunRecord]:
+        """The underlying run records (grid order)."""
+        return list(self._records)
+
+    @property
+    def results(self) -> List[ScenarioResult]:
+        """Every run's result under the :class:`ScenarioResult` contract."""
+        return [self._result(r) for r in self._records]
+
+    def _result(self, record: RunRecord) -> ScenarioResult:
+        key = id(record)
+        result = self._coerced.get(key)
+        if result is None:
+            result = coerce_result(record.result, record.scenario)
+            self._coerced[key] = result
+        return result
+
+    def _metrics_of(self, record: RunRecord) -> Dict[str, Any]:
+        """The record's metrics dict, computed once (do not mutate)."""
+        key = id(record)
+        metrics = self._metric_cache.get(key)
+        if metrics is None:
+            metrics = self._result(record).metrics()
+            self._metric_cache[key] = metrics
+        return metrics
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    @property
+    def param_names(self) -> List[str]:
+        """Union of parameter names, in first-appearance order."""
+        names: List[str] = []
+        for record in self._records:
+            for key in record.params:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    @property
+    def metric_names(self) -> List[str]:
+        """Union of metric names, in first-appearance order.
+
+        Metrics shadowed by an identically-named parameter are dropped
+        (the parameter column already carries the value).
+        """
+        params = set(self.param_names)
+        names: List[str] = []
+        for record in self._records:
+            for key in self._metrics_of(record):
+                if key not in names and key not in params:
+                    names.append(key)
+        return names
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def _known_keys(self) -> set:
+        """Every key queryable somewhere in the set (params and metrics)."""
+        known: set = set()
+        for record in self._records:
+            known.update(record.params)
+            known.update(self._metrics_of(record))
+        return known
+
+    def _matches(self, record: RunRecord, query: Mapping[str, Any]) -> bool:
+        metrics: Optional[Dict[str, Any]] = None
+        for key, expected in query.items():
+            if key in record.params:
+                if record.params[key] != expected:
+                    return False
+                continue
+            if metrics is None:
+                metrics = self._metrics_of(record)
+            # a key this record simply does not carry (heterogeneous
+            # sets, aggregated rows) is a non-match, not an error —
+            # filter() has already rejected set-wide unknowns
+            if metrics.get(key, _MISSING) != expected:
+                return False
+        return True
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunRecord], bool]] = None,
+        **query: Any,
+    ) -> "ResultSet":
+        """Runs matching ``predicate`` and/or ``param=value`` equality.
+
+        Query keys name run parameters first, falling back to declared
+        metrics (so ``filter(profile_name="TFRC")`` works even when the
+        sweep axis used a different spelling than the result).  A key
+        carried by only *some* runs simply excludes the runs that lack
+        it; a key no run in the set carries at all is a typo and raises
+        ``KeyError`` rather than silently matching nothing.
+        """
+        if query and self._records:
+            unknown = sorted(set(query) - self._known_keys())
+            if unknown:
+                raise KeyError(
+                    f"{unknown} are neither parameters nor metrics of any "
+                    f"run in this set; known: {sorted(self._known_keys())}"
+                )
+        kept = [
+            r
+            for r in self._records
+            if (predicate is None or predicate(r)) and self._matches(r, query)
+        ]
+        return ResultSet(kept, _parent=self)
+
+    def _single(self, query: Mapping[str, Any]) -> RunRecord:
+        matched = self.filter(**query)
+        if len(matched) != 1:
+            raise KeyError(
+                f"query {query!r} matched {len(matched)} runs, expected 1"
+            )
+        return matched[0]
+
+    def one(self, **query: Any) -> ScenarioResult:
+        """The single result matching ``query`` (KeyError otherwise)."""
+        return self._result(self._single(query))
+
+    def value(self, metric: str, **query: Any) -> Any:
+        """One metric of the single run matching ``query``."""
+        metrics = self._metrics_of(self._single(query))
+        try:
+            return metrics[metric]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {metric!r}; known: {sorted(metrics)}"
+            ) from None
+
+    def group_by(self, *keys: str) -> Dict[Any, "ResultSet"]:
+        """Partition by parameter values, preserving grid order.
+
+        Returns ``{value: ResultSet}`` for a single key and
+        ``{(v1, v2, ...): ResultSet}`` for several; group insertion
+        order follows first appearance in the record list.
+        """
+        if not keys:
+            raise ValueError("group_by needs at least one parameter name")
+        groups: Dict[Any, List[RunRecord]] = {}
+        for record in self._records:
+            values = tuple(record.params.get(k) for k in keys)
+            key = values[0] if len(keys) == 1 else values
+            groups.setdefault(key, []).append(record)
+        return {
+            key: ResultSet(records, _parent=self)
+            for key, records in groups.items()
+        }
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        *metrics: str,
+        over: str = "seed",
+        stats: Sequence[str] = ("mean", "std"),
+    ) -> "ResultSet":
+        """Fold the ``over`` axis into summary statistics per group.
+
+        Groups runs by every parameter except ``over``, then reduces
+        each requested metric (default: all declared metrics that are
+        numeric in every run) with each statistic in ``stats`` —
+        ``mean``, ``std`` (population), ``min``, ``max`` or ``pNN``
+        percentiles.  The result is a new :class:`ResultSet` whose
+        records carry the group parameters, a ``runs`` count and
+        ``<metric>_<stat>`` summary metrics.
+        """
+        stat_fns = [(s, _stat_fn(s)) for s in stats]
+        groups: Dict[Tuple[Any, ...], List[RunRecord]] = {}
+        group_params: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        for record in self._records:
+            kept = {k: v for k, v in record.params.items() if k != over}
+            key = tuple(sorted(kept.items(), key=lambda kv: kv[0]))
+            groups.setdefault(key, []).append(record)
+            group_params.setdefault(key, kept)
+        aggregated: List[RunRecord] = []
+        for key, records in groups.items():
+            rows = [self._metrics_of(r) for r in records]
+            names = list(metrics) or [
+                name
+                for name in ResultSet(records, _parent=self).metric_names
+                if all(
+                    isinstance(row.get(name), (int, float))
+                    and not isinstance(row.get(name), bool)
+                    for row in rows
+                )
+            ]
+            summary: Dict[str, Any] = {"runs": len(records)}
+            for name in names:
+                values = []
+                for row in rows:
+                    if name not in row:
+                        raise KeyError(
+                            f"metric {name!r} missing from a "
+                            f"{records[0].scenario!r} run; "
+                            f"known: {sorted(rows[0])}"
+                        )
+                    values.append(row[name])
+                for stat, fn in stat_fns:
+                    summary[f"{name}_{stat}"] = fn(values)
+            aggregated.append(
+                RunRecord(
+                    scenario=records[0].scenario,
+                    params=group_params[key],
+                    result=MappingResult(summary),
+                )
+            )
+        return ResultSet(aggregated)
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def to_rows(self) -> Tuple[List[str], List[List[Any]]]:
+        """``(headers, rows)`` — parameter columns then metric columns."""
+        param_cols = self.param_names
+        metric_cols = self.metric_names
+        rows = []
+        for record in self._records:
+            metrics = self._metrics_of(record)
+            rows.append(
+                [record.params.get(c, "") for c in param_cols]
+                + [metrics.get(c, "") for c in metric_cols]
+            )
+        return param_cols + metric_cols, rows
+
+    def table(self, title: str = "") -> str:
+        """A fixed-width text table of every run (params + metrics)."""
+        headers, rows = self.to_rows()
+        return format_table(headers, rows, title=title)
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """CSV export (written to ``path`` when given, always returned)."""
+        headers, rows = self.to_rows()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(headers)
+        writer.writerows(rows)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """JSON export: one object per run with params and metrics.
+
+        Unlike the flat :meth:`to_csv`/:meth:`table` exports — which
+        drop metric columns that duplicate a parameter — the nested
+        form reports each run's metrics in full: params and metrics
+        are separate objects, so the duplication is explicit rather
+        than a colliding column.
+        """
+        payload = [
+            {
+                "scenario": record.scenario,
+                "params": dict(record.params),
+                "metrics": self._metrics_of(record),
+            }
+            for record in self._records
+        ]
+        text = json.dumps(payload, indent=2, default=repr)
+        if path is not None:
+            Path(path).write_text(text)
+        return text

@@ -1,50 +1,56 @@
 """Experiment harness: scenario registry, sweep runner and tables.
 
-Three layers:
+The layers:
 
 * :mod:`repro.harness.experiments` — one module per canonical
   experiment (DESIGN.md's index); each scenario builder is registered
   with :mod:`repro.harness.registry` under a stable name, with a
-  parameter schema and the paper's default sweep grid.
+  parameter schema, the paper's default sweep grid and a declared
+  :class:`~repro.harness.result.ScenarioResult` return type.
 * :mod:`repro.harness.runner` — :func:`run_matrix` fans a parameter
   grid out across multiprocessing workers with deterministic per-run
   seeds and memoizes completed runs on disk, so benchmarks declare
   sweeps instead of hand-rolling loops and re-runs are free.
-* the CLI — ``python -m repro.harness run <scenario> --sweep ...``
-  (see :mod:`repro.harness.cli`).
+* the CLI — ``python -m repro.harness run <scenario> --sweep ...
+  --format table|csv|json`` (see :mod:`repro.harness.cli`).
 * :mod:`repro.harness.bench` — the pinned perf suite behind
   ``python -m repro.harness bench`` / ``bench --check`` and the
   golden trace probes that pin the engine's exact behavior.
 
-The historical flat imports (``from repro.harness.scenarios import
-af_dumbbell_scenario``) keep working via the re-export shim.
+:mod:`repro.api` (``Experiment`` / ``ResultSet``) is the public front
+door over all of this; prefer it for new code.  The historical flat
+imports (``from repro.harness.scenarios import af_dumbbell_scenario``)
+keep working via the deprecated re-export shim.
 """
 
+from repro.harness.experiments.ablation import gtfrc_ablation_scenario
+from repro.harness.experiments.af_assurance import AfResult, af_dumbbell_scenario
+from repro.harness.experiments.convergence import convergence_scenario
+from repro.harness.experiments.estimation import estimation_accuracy_scenario
+from repro.harness.experiments.friendliness import friendliness_scenario
+from repro.harness.experiments.lossy_path import (
+    LossyPathResult,
+    lossy_path_scenario,
+)
+from repro.harness.experiments.negotiation_matrix import negotiation_scenario
+from repro.harness.experiments.receiver_load import receiver_load_scenario
+from repro.harness.experiments.reliability import reliability_scenario
+from repro.harness.experiments.selfish import selfish_receiver_scenario
+from repro.harness.experiments.smoothness import smoothness_scenario
 from repro.harness.registry import (
     ScenarioSpec,
     get_scenario,
     list_scenarios,
     register,
 )
+from repro.harness.result import MappingResult, ScenarioResult, coerce_result
 from repro.harness.runner import RunRecord, code_version, expand_grid, run_matrix
-from repro.harness.scenarios import (
-    AfResult,
-    LossyPathResult,
-    af_dumbbell_scenario,
-    convergence_scenario,
-    estimation_accuracy_scenario,
-    friendliness_scenario,
-    gtfrc_ablation_scenario,
-    lossy_path_scenario,
-    negotiation_scenario,
-    receiver_load_scenario,
-    reliability_scenario,
-    selfish_receiver_scenario,
-    smoothness_scenario,
-)
 from repro.harness.tables import format_table
 
 __all__ = [
+    "MappingResult",
+    "ScenarioResult",
+    "coerce_result",
     "af_dumbbell_scenario",
     "convergence_scenario",
     "gtfrc_ablation_scenario",

@@ -6,18 +6,22 @@ Usage::
     python -m repro.harness run af_assurance
     python -m repro.harness run af_assurance \
         --sweep protocol=tcp,gtfrc --sweep target_bps=2e6,6e6 \
-        --set duration=20 --seeds 0,1 --workers 4
+        --set duration=20 --seeds 0,1 --workers 4 --format csv
     python -m repro.harness bench
     python -m repro.harness bench --check
     python -m repro.harness bench --update-current
     python -m repro.harness bench --update-current --history bench-history/
 
-``run`` executes the scenario over its sweep grid (the registered
-default when no ``--sweep`` is given), memoizing results under
-``--cache-dir`` (default ``.sweep-cache/``; ``--no-cache`` disables;
-``REPRO_CACHE=sqlite:<path>`` redirects the memo to one shareable
-sqlite file), and prints one table row per run: the swept parameters
-followed by the scalar fields of the scenario's result record.
+``run`` builds a :class:`repro.api.Experiment` over the scenario's
+sweep grid (the registered default when no ``--sweep`` is given),
+memoizing results under ``--cache-dir`` (default ``.sweep-cache/``;
+``--no-cache`` disables; ``REPRO_CACHE=sqlite:<path>`` redirects the
+memo to one shareable sqlite file), and emits the
+:class:`repro.api.ResultSet` in the requested ``--format``: the
+fixed-width ``table`` (one row per run: swept parameters followed by
+the result's declared metrics, plus a run-count summary), or the
+machine-readable ``csv`` / ``json`` exports (data only, no summary
+line, so output pipes cleanly).
 
 ``bench`` runs the pinned perf suite (:mod:`repro.harness.bench`) and
 writes ``BENCH_core.json`` (preserving the frozen pre-optimization
@@ -33,14 +37,14 @@ a perf trajectory accumulates (the nightly workflow uploads it).
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.api import Experiment
 from repro.harness.registry import ScenarioSpec, get_scenario, list_scenarios
-from repro.harness.runner import RunRecord, run_matrix
+from repro.harness.runner import RunRecord
 from repro.harness.tables import format_table
 
 
@@ -111,6 +115,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    run.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        dest="output_format",
+        help="result rendering: fixed-width table (default) or the "
+        "ResultSet csv/json export (data only — the summary line is "
+        "omitted so output pipes cleanly)",
     )
     bench = sub.add_parser(
         "bench",
@@ -189,41 +202,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     try:
-        grid = _parse_grid(spec, args.sweep) if args.sweep else None
-        base = dict(_parse_pair(spec, pair) for pair in args.fixed)
-        seeds = (
-            [int(s) for s in args.seeds.split(",") if s] if args.seeds else None
+        experiment = Experiment(spec).workers(args.workers or None).cache(
+            None if args.no_cache else args.cache_dir
         )
+        if args.sweep:
+            experiment.sweep(_parse_grid(spec, args.sweep))
+        if args.fixed:
+            experiment.configure(
+                **dict(_parse_pair(spec, pair) for pair in args.fixed)
+            )
+        if args.seeds:
+            experiment.seeds(int(s) for s in args.seeds.split(",") if s)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    # machine-readable formats keep stdout pure data; progress moves
+    # to stderr there so `... --format csv > out.csv` stays clean
+    progress_stream = sys.stdout if args.output_format == "table" else sys.stderr
 
     def progress(record: RunRecord) -> None:
         if not args.quiet:
             state = "cached" if record.cached else f"{record.elapsed:.2f}s"
-            print(f"  [{state}] {record.scenario} {record.params}", flush=True)
+            print(
+                f"  [{state}] {record.scenario} {record.params}",
+                file=progress_stream,
+                flush=True,
+            )
 
     started = time.perf_counter()
     try:
-        records = run_matrix(
-            args.scenario,
-            grid,
-            base=base,
-            seeds=seeds,
-            workers=args.workers or None,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            progress=progress,
-        )
+        results = experiment.run(progress=progress)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     wall = time.perf_counter() - started
-    print(_records_table(spec, records))
-    fresh = sum(1 for r in records if not r.cached)
-    print(
-        f"\n{len(records)} runs ({fresh} computed, {len(records) - fresh} cached) "
-        f"in {wall:.2f}s wall"
-    )
+    if args.output_format == "csv":
+        print(results.to_csv(), end="")
+    elif args.output_format == "json":
+        print(results.to_json())
+    else:
+        print(results.table(title=f"sweep: {spec.name}"))
+        fresh = sum(1 for r in results if not r.cached)
+        print(
+            f"\n{len(results)} runs ({fresh} computed, "
+            f"{len(results) - fresh} cached) in {wall:.2f}s wall"
+        )
     return 0
 
 
@@ -335,41 +359,3 @@ def _parse_pair(spec: ScenarioSpec, pair: str) -> tuple:
     if not _ or value == "":
         raise ValueError(f"--set needs PARAM=VALUE (got {pair!r})")
     return name, spec.coerce(name, value)
-
-
-def _records_table(spec: ScenarioSpec, records: Sequence[RunRecord]) -> str:
-    param_cols: List[str] = []
-    for record in records:
-        for key in record.params:
-            if key not in param_cols:
-                param_cols.append(key)
-    result_cols: List[str] = []
-    flattened: List[Dict[str, Any]] = []
-    for record in records:
-        flat = _flatten_result(record.result)
-        flattened.append(flat)
-        for key in flat:
-            if key not in result_cols:
-                result_cols.append(key)
-    result_cols = [c for c in result_cols if c not in param_cols]
-    rows = [
-        [record.params.get(c, "") for c in param_cols]
-        + [flat.get(c, "") for c in result_cols]
-        for record, flat in zip(records, flattened)
-    ]
-    return format_table(
-        param_cols + result_cols, rows, title=f"sweep: {spec.name}"
-    )
-
-
-def _flatten_result(result: Any) -> Dict[str, Any]:
-    """Scalar fields of a result record (series/samples are elided)."""
-    if dataclasses.is_dataclass(result) and not isinstance(result, type):
-        items = dataclasses.asdict(result).items()
-    elif isinstance(result, dict):
-        items = result.items()
-    else:
-        return {"result": result}
-    return {
-        k: v for k, v in items if isinstance(v, (str, int, float, bool, type(None)))
-    }

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.sim.engine import Simulator
 from repro.topo import build, t1_dumbbell_spec
 
@@ -22,8 +23,10 @@ ABLATION_VARIANTS = ("floor", "p-scaling", "none")
 
 
 @dataclass
-class AblationResult:
+class AblationResult(ScenarioResult):
     """Outcome of one gTFRC-mechanism ablation run."""
+
+    __computed_metrics__ = ("ratio",)
 
     variant: str
     target_bps: float

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.sim.engine import Simulator
 from repro.sim.packet import Color
 from repro.topo import build, t1_dumbbell_spec
@@ -22,8 +23,10 @@ AF_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
 
 
 @dataclass
-class AfResult:
+class AfResult(ScenarioResult):
     """Outcome of one AF-assurance run."""
+
+    __computed_metrics__ = ("ratio",)
 
     protocol: str
     target_bps: float

@@ -14,12 +14,13 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.sim.engine import Simulator
 from repro.topo import build, t1_dumbbell_spec
 
 
 @dataclass
-class ConvergenceResult:
+class ConvergenceResult(ScenarioResult):
     """Assured-flow throughput around a congestion step."""
 
     protocol: str

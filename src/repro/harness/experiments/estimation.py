@@ -9,6 +9,7 @@ from repro.core.instances import QTPLIGHT
 from repro.core.receiver import QtpReceiver
 from repro.core.sender import QtpSender
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.recorder import FlowRecorder
 from repro.netem.channels import BernoulliLossChannel
 from repro.sim.engine import Simulator
@@ -40,7 +41,7 @@ class _ShadowReceiver(QtpReceiver):
 
 
 @dataclass
-class EstimationAccuracyResult:
+class EstimationAccuracyResult(ScenarioResult):
     """Sender-side vs receiver-side loss event rate on one stream."""
 
     loss_rate: float

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.core.instances import TFRC_MEDIA, build_transport_pair
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.recorder import FlowRecorder
 from repro.metrics.stats import jain_index
 from repro.sim.engine import Simulator
@@ -16,7 +17,7 @@ from repro.tcp.sender import TcpSender
 
 
 @dataclass
-class FriendlinessResult:
+class FriendlinessResult(ScenarioResult):
     """Bandwidth sharing of one TFRC against N TCP flows."""
 
     n_tcp: int

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.stats import jain_index
 from repro.sim.engine import Simulator
 from repro.topo import build, hetero_sla_dumbbell_spec
@@ -22,7 +23,7 @@ HETERO_SLA_PROTOCOLS = ("tfrc", "gtfrc", "qtpaf")
 
 
 @dataclass
-class HeteroSlaResult:
+class HeteroSlaResult(ScenarioResult):
     """Outcome of one mixed-guarantee run (ratios are achieved/target)."""
 
     protocol: str

@@ -1,21 +1,25 @@
-"""F2 — lossy / multi-hop paths: TCP vs TFRC (paper §2, claim 1)."""
+"""F2 — lossy / multi-hop paths: TCP vs TFRC (paper §2, claim 1).
+
+The chain is the declarative
+:func:`repro.topo.presets.lossy_chain_spec` compiled by
+:func:`repro.topo.build` — per-hop loss channels are spec data
+(:class:`repro.topo.specs.ChannelSpec`), not hand-wired factories; the
+regenerated F2 table is byte-identical to the hand-built version this
+replaced.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.instances import TFRC_MEDIA, build_transport_pair
 from repro.harness.registry import register
-from repro.metrics.recorder import FlowRecorder
-from repro.netem.channels import BernoulliLossChannel, GilbertElliottChannel
+from repro.harness.result import ScenarioResult
 from repro.sim.engine import Simulator
-from repro.sim.topology import chain
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
+from repro.topo import build, lossy_chain_spec
 
 
 @dataclass
-class LossyPathResult:
+class LossyPathResult(ScenarioResult):
     """Goodput over a lossy multi-hop path."""
 
     protocol: str
@@ -46,53 +50,32 @@ def lossy_path_scenario(
     """TCP vs TFRC over a chain with per-hop random loss (paper §2 claim 1).
 
     ``bursty=True`` uses a Gilbert–Elliott channel tuned to the same
-    steady-state loss rate; otherwise losses are Bernoulli.
+    steady-state loss rate (see :func:`lossy_chain_spec`); otherwise
+    losses are Bernoulli.
     """
     sim = Simulator(seed=seed)
-    rng = sim.rng("wireless")
-
-    def channel_factory():
-        if loss_rate <= 0:
-            return None
-        if bursty:
-            # fix the bad-state dynamics, solve p_g2b for the target rate
-            p_bad, p_b2g = 0.5, 0.25
-            p_g2b = loss_rate * p_b2g / max(1e-9, (p_bad - loss_rate))
-            return GilbertElliottChannel(
-                p_g2b=min(0.9, p_g2b), p_b2g=p_b2g, p_bad=p_bad, rng=rng
-            )
-        return BernoulliLossChannel(loss_rate, rng=rng)
-
-    topo = chain(
+    built = build(
         sim,
-        n_hops=n_hops,
-        rate=hop_rate_bps,
-        delay=hop_delay,
-        channel_factory=channel_factory,
+        lossy_chain_spec(
+            protocol,
+            loss_rate,
+            n_hops=n_hops,
+            hop_rate_bps=hop_rate_bps,
+            hop_delay=hop_delay,
+            bursty=bursty,
+        ),
     )
-    rec = FlowRecorder(protocol)
-    src, dst = topo.first, topo.last
-    if protocol == "tcp":
-        snd = TcpSender(sim, dst=dst.name, sack=True)
-        rcv = TcpReceiver(sim, recorder=rec, sack=True)
-        snd.attach(src, "flow")
-        rcv.attach(dst, "flow")
-        snd.start()
-    elif protocol == "tfrc":
-        build_transport_pair(
-            sim, src, dst, "flow", TFRC_MEDIA, recorder=rec, start=True
-        )
-    else:
-        raise ValueError(f"unknown protocol {protocol!r}")
     sim.run(until=duration)
     observed = [
-        link.channel.observed_loss_rate()
-        for link in topo.hops
-        if link.channel is not None
+        channel.observed_loss_rate()
+        for channel in (
+            built.link(f"h{i}", f"h{i + 1}").channel for i in range(n_hops)
+        )
+        if channel is not None
     ]
     return LossyPathResult(
         protocol=protocol,
         loss_rate=loss_rate,
         observed_loss_rate=sum(observed) / len(observed) if observed else 0.0,
-        goodput_bps=rec.mean_rate_bps(warmup, duration),
+        goodput_bps=built.recorder("flow").mean_rate_bps(warmup, duration),
     )

@@ -15,6 +15,7 @@ from typing import Dict, Tuple
 from repro.core.negotiation import CapabilitySet, NegotiationError, negotiate
 from repro.core.profile import CongestionControl, ReliabilityMode
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 
 
 def _capability_pairs() -> Dict[str, Tuple[CapabilitySet, CapabilitySet]]:
@@ -69,7 +70,7 @@ NEGOTIATION_PAIRS = tuple(_capability_pairs())
 
 
 @dataclass
-class NegotiationMatrixResult:
+class NegotiationMatrixResult(ScenarioResult):
     """Instance produced by one capability pair (or the failure text)."""
 
     pair: str

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.sim.engine import Simulator
 from repro.sim.packet import Color
 from repro.topo import build, parking_lot_spec
@@ -22,8 +23,10 @@ PARKING_LOT_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
 
 
 @dataclass
-class ParkingLotResult:
+class ParkingLotResult(ScenarioResult):
     """Outcome of one multi-bottleneck AF run."""
+
+    __computed_metrics__ = ("ratio",)
 
     protocol: str
     target_bps: float

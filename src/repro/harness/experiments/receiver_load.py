@@ -13,6 +13,7 @@ from repro.core.instances import (
 )
 from repro.core.profile import TransportProfile
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.cost import CostMeter
 from repro.metrics.recorder import FlowRecorder
 from repro.netem.channels import BernoulliLossChannel
@@ -30,7 +31,7 @@ RECEIVER_PROFILES = {
 
 
 @dataclass
-class ReceiverLoadResult:
+class ReceiverLoadResult(ScenarioResult):
     """Cost-meter comparison of receiver compositions."""
 
     profile_name: str

@@ -14,6 +14,7 @@ from repro.core.profile import (
     TransportProfile,
 )
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.recorder import FlowRecorder
 from repro.netem.channels import BernoulliLossChannel
 from repro.sim.engine import Simulator
@@ -21,8 +22,10 @@ from repro.sim.topology import chain
 
 
 @dataclass
-class ReliabilityResult:
+class ReliabilityResult(ScenarioResult):
     """Media delivery under one reliability mode."""
+
+    __computed_metrics__ = ("useful_ratio",)
 
     mode: str
     sent: int

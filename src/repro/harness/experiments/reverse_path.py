@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.sim.engine import Simulator
 from repro.topo import build, reverse_path_chain_spec
 
@@ -23,8 +24,10 @@ REVERSE_PATH_PROTOCOLS = ("tfrc", "gtfrc", "qtpaf")
 
 
 @dataclass
-class ReversePathResult:
+class ReversePathResult(ScenarioResult):
     """Outcome of one reverse-path congestion run."""
+
+    __computed_metrics__ = ("ratio",)
 
     protocol: str
     target_bps: float

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.core.instances import QTPLIGHT, TFRC_MEDIA, build_transport_pair
 from repro.core.qtplight import LyingFeedbackFilter
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.recorder import FlowRecorder
 from repro.sim.engine import Simulator
 from repro.sim.queues import DropTailQueue
@@ -14,7 +15,7 @@ from repro.sim.topology import dumbbell
 
 
 @dataclass
-class SelfishResult:
+class SelfishResult(ScenarioResult):
     """Goodput split between a (possibly cheating) flow and its victim."""
 
     mode: str

@@ -7,6 +7,7 @@ from typing import List
 
 from repro.core.instances import TFRC_MEDIA, build_transport_pair
 from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
 from repro.metrics.recorder import FlowRecorder
 from repro.metrics.stats import coefficient_of_variation
 from repro.sim.engine import Simulator
@@ -17,7 +18,7 @@ from repro.tcp.sender import TcpSender
 
 
 @dataclass
-class SmoothnessResult:
+class SmoothnessResult(ScenarioResult):
     """Throughput series and its coefficient of variation."""
 
     protocol: str

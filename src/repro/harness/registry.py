@@ -24,10 +24,15 @@ from __future__ import annotations
 import inspect
 import types
 import typing
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-_JSON_SCALARS = (str, int, float, bool, type(None))
+from repro.harness.result import SCALARS, result_type_of
+
+#: One shared notion of "JSON-representable scalar" with the result
+#: contract (repro.harness.result.SCALARS), plus None for Optionals.
+_JSON_SCALARS = SCALARS + (type(None),)
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,10 @@ class ScenarioSpec:
     defaults: Mapping[str, Any]
     default_grid: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
     optional: frozenset = frozenset()  # params typed Optional[...]
+    #: Declared :class:`~repro.harness.result.ScenarioResult` subclass
+    #: returned by ``fn`` (``None`` for legacy raw-dict scenarios, which
+    #: are adapted — with a deprecation warning — at query time).
+    result_type: Optional[type] = None
 
     def bind(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         """Validate ``params`` against the schema and return call kwargs."""
@@ -98,6 +107,18 @@ def register(
                 raise ValueError(
                     f"default grid for {name!r} names unknown parameter {key!r}"
                 )
+        result_type = result_type_of(fn)
+        if result_type is None:
+            # the contract every in-tree scenario follows; out-of-tree
+            # raw-dict scenarios keep working through the coerce_result
+            # shim but are nudged toward the typed contract
+            warnings.warn(
+                f"scenario {name!r} does not declare a ScenarioResult "
+                "return type; raw results are deprecated (they are "
+                "adapted via repro.harness.result.coerce_result)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         _REGISTRY[name] = ScenarioSpec(
             name=name,
             fn=fn,
@@ -106,6 +127,7 @@ def register(
             defaults=defaults,
             default_grid=frozen_grid,
             optional=optional,
+            result_type=result_type,
         )
         return fn
 

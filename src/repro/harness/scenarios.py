@@ -1,59 +1,71 @@
-"""Backward-compatible re-exports of the canonical experiment scenarios.
+"""Deprecated flat re-exports of the canonical experiment scenarios.
 
-The scenario builders now live in per-experiment modules under
+The scenario builders live in per-experiment modules under
 :mod:`repro.harness.experiments` (one module per DESIGN.md experiment),
-where each is registered with :mod:`repro.harness.registry` for use by
-the sweep runner and the ``python -m repro.harness`` CLI.  This module
-keeps the historical flat namespace alive for existing imports.
+where each is registered with :mod:`repro.harness.registry`; the
+public front door for running and analyzing them is :mod:`repro.api`
+(``Experiment`` / ``ResultSet``).  This module keeps the historical
+flat namespace importable for old call sites and warns once per
+process; import from ``repro.harness.experiments.*`` (or drive
+scenarios through ``repro.api``) instead.
 """
 
 from __future__ import annotations
 
-from repro.harness.experiments.ablation import (  # noqa: F401
+import warnings as _warnings
+
+_warnings.warn(
+    "repro.harness.scenarios is deprecated; import from "
+    "repro.harness.experiments.* or use repro.api (Experiment/ResultSet)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.harness.experiments.ablation import (  # noqa: F401,E402
     ABLATION_VARIANTS,
     AblationResult,
     gtfrc_ablation_scenario,
 )
-from repro.harness.experiments.af_assurance import (  # noqa: F401
+from repro.harness.experiments.af_assurance import (  # noqa: F401,E402
     AF_PROTOCOLS,
     AfResult,
     af_dumbbell_scenario,
 )
-from repro.harness.experiments.convergence import (  # noqa: F401
+from repro.harness.experiments.convergence import (  # noqa: F401,E402
     ConvergenceResult,
     convergence_scenario,
 )
-from repro.harness.experiments.estimation import (  # noqa: F401
+from repro.harness.experiments.estimation import (  # noqa: F401,E402
     EstimationAccuracyResult,
     _ShadowReceiver,
     estimation_accuracy_scenario,
 )
-from repro.harness.experiments.friendliness import (  # noqa: F401
+from repro.harness.experiments.friendliness import (  # noqa: F401,E402
     FriendlinessResult,
     friendliness_scenario,
 )
-from repro.harness.experiments.lossy_path import (  # noqa: F401
+from repro.harness.experiments.lossy_path import (  # noqa: F401,E402
     LossyPathResult,
     lossy_path_scenario,
 )
-from repro.harness.experiments.negotiation_matrix import (  # noqa: F401
+from repro.harness.experiments.negotiation_matrix import (  # noqa: F401,E402
     NEGOTIATION_PAIRS,
     NegotiationMatrixResult,
     negotiation_scenario,
 )
-from repro.harness.experiments.receiver_load import (  # noqa: F401
+from repro.harness.experiments.receiver_load import (  # noqa: F401,E402
     ReceiverLoadResult,
     receiver_load_scenario,
 )
-from repro.harness.experiments.reliability import (  # noqa: F401
+from repro.harness.experiments.reliability import (  # noqa: F401,E402
     ReliabilityResult,
     reliability_scenario,
 )
-from repro.harness.experiments.selfish import (  # noqa: F401
+from repro.harness.experiments.selfish import (  # noqa: F401,E402
     SelfishResult,
     selfish_receiver_scenario,
 )
-from repro.harness.experiments.smoothness import (  # noqa: F401
+from repro.harness.experiments.smoothness import (  # noqa: F401,E402
     SmoothnessResult,
     smoothness_scenario,
 )

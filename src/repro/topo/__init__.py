@@ -42,11 +42,13 @@ See ``examples/compose_scenario.py`` for a from-scratch custom spec.
 from repro.topo.build import BuiltScenario, build  # noqa: F401
 from repro.topo.presets import (  # noqa: F401
     hetero_sla_dumbbell_spec,
+    lossy_chain_spec,
     parking_lot_spec,
     reverse_path_chain_spec,
     t1_dumbbell_spec,
 )
 from repro.topo.specs import (  # noqa: F401
+    ChannelSpec,
     FlowSpec,
     LinkSpec,
     MarkerSpec,
@@ -58,6 +60,7 @@ from repro.topo.specs import (  # noqa: F401
 
 __all__ = [
     "BuiltScenario",
+    "ChannelSpec",
     "FlowSpec",
     "LinkSpec",
     "MarkerSpec",
@@ -67,6 +70,7 @@ __all__ = [
     "TopologySpec",
     "build",
     "hetero_sla_dumbbell_spec",
+    "lossy_chain_spec",
     "parking_lot_spec",
     "reverse_path_chain_spec",
     "t1_dumbbell_spec",

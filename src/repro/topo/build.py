@@ -8,11 +8,13 @@ benchmark tables fingerprint it (see
    from link endpoints (forward ``src`` before ``dst``), in link order.
 2. **Links**, in spec order.  Per link: the forward marker (its meter
    is built here, one fresh meter per ``MarkerSpec`` occurrence), the
-   forward queue, the forward link; then, for duplex links, the reverse
-   queue and reverse link.  RED/RIO queues draw their randomness from
-   the named :meth:`~repro.sim.engine.Simulator.rng` stream
-   (``QueueSpec.rng_stream``), which is memoized per name, so every
-   queue sharing a stream name shares one deterministic sequence.
+   forward queue, the forward channel, the forward link; then, for
+   duplex links, the reverse queue, reverse channel and reverse link.
+   RED/RIO queues and netem channels draw their randomness from the
+   named :meth:`~repro.sim.engine.Simulator.rng` stream
+   (``QueueSpec.rng_stream`` / ``ChannelSpec.rng_stream``), which is
+   memoized per name, so every element sharing a stream name shares
+   one deterministic sequence.
 3. **Routes**: one ``compute_routes()`` pass.
 4. **Flows**, in spec order.  Per flow: sender constructed, receiver
    constructed, sender attached, receiver attached, then the schedule
@@ -46,7 +48,13 @@ from repro.sim.topology import Network
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
 from repro.tfrc.gtfrc import GtfrcRateController
+from repro.netem.channels import (
+    BernoulliLossChannel,
+    GilbertElliottChannel,
+    JitterChannel,
+)
 from repro.topo.specs import (
+    ChannelSpec,
     FlowSpec,
     LinkSpec,
     MarkerSpec,
@@ -113,16 +121,21 @@ def build(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
             ls.rate_bps,
             ls.delay,
             queue=_build_queue(ls.queue, sim, ls.rate_bps),
+            channel=_build_channel(ls.channel, sim),
             marker=marker,
         )
         if ls.duplex:
             reverse = ls.reverse_queue if ls.reverse_queue is not None else ls.queue
+            reverse_channel = (
+                ls.reverse_channel if ls.reverse_channel is not None else ls.channel
+            )
             net.add_simplex_link(
                 ls.dst,
                 ls.src,
                 ls.rate_bps,
                 ls.delay,
                 queue=_build_queue(reverse, sim, ls.rate_bps),
+                channel=_build_channel(reverse_channel, sim),
             )
     # 3. routes
     net.compute_routes()
@@ -178,6 +191,27 @@ def _build_queue(qs: QueueSpec, sim: Simulator, link_rate_bps: float):
     return cls(
         rng=sim.rng(qs.rng_stream), mean_pkt_time=mean_pkt_time, **kwargs
     )
+
+
+def _build_channel(cs: Optional[ChannelSpec], sim: Simulator):
+    """Instantiate one link-direction channel (``None``/"none" → none).
+
+    Every channel draws from the named ``sim.rng(cs.rng_stream)``
+    stream; ``None`` spec fields keep the channel class defaults.
+    """
+    if cs is None or cs.kind == "none":
+        return None
+    rng = sim.rng(cs.rng_stream)
+    if cs.kind == "bernoulli":
+        return BernoulliLossChannel(cs.loss_rate, rng=rng)
+    if cs.kind == "gilbert_elliott":
+        kwargs = {
+            name: getattr(cs, name)
+            for name in ("p_g2b", "p_b2g", "p_good", "p_bad")
+            if getattr(cs, name) is not None
+        }
+        return GilbertElliottChannel(rng=rng, **kwargs)
+    return JitterChannel(cs.max_jitter, rng=rng)  # jitter
 
 
 def _build_marker(ms: MarkerSpec, built: BuiltScenario):

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.topo.specs import (
+    ChannelSpec,
     FlowSpec,
     LinkSpec,
     MarkerSpec,
@@ -100,6 +101,62 @@ def t1_dumbbell_spec(
         topology=TopologySpec(links=tuple(links)),
         flows=tuple(flows),
         description="AF dumbbell: assured flow + TCP cross on one RIO bottleneck",
+    )
+
+
+def lossy_chain_spec(
+    protocol: str,
+    loss_rate: float,
+    n_hops: int = 3,
+    *,
+    hop_rate_bps: float = 2e6,
+    hop_delay: float = 0.005,
+    bursty: bool = False,
+    rng_stream: str = "wireless",
+) -> ScenarioSpec:
+    """The F2 lossy multi-hop chain: one flow over per-hop random loss.
+
+    ``h0 -> h1 -> ... -> hN`` with an independent loss channel on
+    *every* link direction (each drawing from the shared ``rng_stream``
+    — the convention the hand-built ``chain(channel_factory=...)``
+    scaffold used).  ``bursty=True`` selects a Gilbert–Elliott channel
+    tuned to the same steady-state loss rate (fixed bad-state dynamics,
+    ``p_g2b`` solved for the target); otherwise losses are Bernoulli.
+    A non-positive ``loss_rate`` leaves the chain clean.
+    """
+    if n_hops < 1:
+        raise ValueError("need at least one hop")
+    channel = None
+    if loss_rate > 0:
+        if bursty:
+            # fix the bad-state dynamics, solve p_g2b for the target rate
+            p_bad, p_b2g = 0.5, 0.25
+            p_g2b = loss_rate * p_b2g / max(1e-9, (p_bad - loss_rate))
+            channel = ChannelSpec(
+                kind="gilbert_elliott",
+                p_g2b=min(0.9, p_g2b),
+                p_b2g=p_b2g,
+                p_bad=p_bad,
+                rng_stream=rng_stream,
+            )
+        else:
+            channel = ChannelSpec(
+                kind="bernoulli", loss_rate=loss_rate, rng_stream=rng_stream
+            )
+    links = [
+        LinkSpec(
+            f"h{i}", f"h{i + 1}", hop_rate_bps, hop_delay, channel=channel
+        )
+        for i in range(n_hops)
+    ]
+    flows = (
+        FlowSpec("flow", "h0", f"h{n_hops}", transport=protocol),
+    )
+    return ScenarioSpec(
+        name="lossy_chain",
+        topology=TopologySpec(links=tuple(links)),
+        flows=flows,
+        description="one flow over an H-hop chain with per-hop random loss",
     )
 
 

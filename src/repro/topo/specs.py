@@ -22,6 +22,12 @@ from typing import Optional, Tuple
 #: Queue disciplines understood by the compiler.
 QUEUE_KINDS = ("droptail", "red", "rio")
 
+#: Loss/delay channel models understood by the compiler (see
+#: :mod:`repro.netem.channels`).  ``none`` compiles to no channel —
+#: the explicit way to strip the reused forward channel from a duplex
+#: link's reverse direction.
+CHANNEL_KINDS = ("none", "bernoulli", "gilbert_elliott", "jitter")
+
 #: Transports understood by the compiler.  ``tcp`` builds the SACK TCP
 #: baseline; the others build QTP endpoints with the matching profile
 #: (see :func:`repro.topo.build._profile_for`).
@@ -93,6 +99,65 @@ class QueueSpec:
 
 
 @dataclass(frozen=True)
+class ChannelSpec:
+    """One netem loss/jitter channel on a link direction.
+
+    Channels draw from the named :meth:`~repro.sim.engine.Simulator.rng`
+    stream (memoized per name, like queue streams), so every channel
+    sharing ``rng_stream`` shares one deterministic sequence — exactly
+    the convention the hand-built ``chain(channel_factory=...)``
+    scenarios used.
+
+    ``kind`` selects the model: ``bernoulli`` (i.i.d. loss at
+    ``loss_rate``), ``gilbert_elliott`` (two-state bursty loss;
+    ``p_g2b``/``p_b2g`` transition and ``p_good``/``p_bad`` per-state
+    loss probabilities), ``jitter`` (uniform extra delay in
+    ``[0, max_jitter]``) or ``none`` (no channel — the explicit way to
+    keep a duplex link's reverse direction clean).
+    """
+
+    kind: str = "bernoulli"
+    loss_rate: Optional[float] = None  # bernoulli
+    # Gilbert–Elliott parameters (None defers to the channel defaults)
+    p_g2b: Optional[float] = None
+    p_b2g: Optional[float] = None
+    p_good: Optional[float] = None
+    p_bad: Optional[float] = None
+    max_jitter: Optional[float] = None  # jitter
+    rng_stream: str = "wireless"
+
+    #: Which tunables each kind consumes; anything else set is a typo.
+    _KIND_FIELDS = {
+        "none": frozenset(),
+        "bernoulli": frozenset({"loss_rate"}),
+        "gilbert_elliott": frozenset({"p_g2b", "p_b2g", "p_good", "p_bad"}),
+        "jitter": frozenset({"max_jitter"}),
+    }
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHANNEL_KINDS:
+            raise ValueError(
+                f"unknown channel kind {self.kind!r}; known: {CHANNEL_KINDS}"
+            )
+        allowed = self._KIND_FIELDS[self.kind]
+        tunables = frozenset().union(*self._KIND_FIELDS.values())
+        stray = sorted(
+            name
+            for name in tunables
+            if getattr(self, name) is not None and name not in allowed
+        )
+        if stray:
+            raise ValueError(
+                f"channel kind {self.kind!r} does not use parameter(s) "
+                f"{stray}; they would be silently ignored"
+            )
+        if self.kind == "bernoulli" and self.loss_rate is None:
+            raise ValueError("bernoulli channel requires loss_rate")
+        if self.kind == "jitter" and self.max_jitter is None:
+            raise ValueError("jitter channel requires max_jitter")
+
+
+@dataclass(frozen=True)
 class SlaSpec:
     """A service-level agreement to be realized as an srTCM edge meter."""
 
@@ -128,7 +193,12 @@ class LinkSpec:
     forward direction only (the usual edge placement).  A duplex link
     gets a *fresh* queue instance per direction — ``reverse_queue``
     overrides the reverse discipline, otherwise ``queue`` is reused as
-    the spec for both.
+    the spec for both.  ``channel``/``reverse_channel`` work the same
+    way: each direction compiles its own channel instance, the reverse
+    reusing the forward spec unless overridden (pass
+    ``ChannelSpec(kind="none")`` for a clean reverse direction) —
+    matching the historical ``add_duplex_link(channel_factory=...)``
+    convention of one independent channel per direction.
     """
 
     src: str
@@ -138,6 +208,8 @@ class LinkSpec:
     queue: QueueSpec = field(default_factory=QueueSpec)
     reverse_queue: Optional[QueueSpec] = None
     marker: Optional[MarkerSpec] = None
+    channel: Optional[ChannelSpec] = None
+    reverse_channel: Optional[ChannelSpec] = None
     duplex: bool = True
 
 

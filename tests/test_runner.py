@@ -85,6 +85,64 @@ class TestRegistry:
         spec = get_scenario("af_assurance")
         assert spec.default_grid["protocol"] == ("tcp", "tfrc", "gtfrc", "qtpaf")
 
+    def test_coerce_unknown_parameter_fails_fast(self):
+        spec = get_scenario("af_assurance")
+        with pytest.raises(ValueError, match="no parameter 'nope'"):
+            spec.coerce("nope", "1")
+
+    def test_coerce_optional_accepts_null_spellings_case_insensitively(self):
+        spec = get_scenario("af_assurance")
+        for text in ("none", "NONE", "null", "Null"):
+            assert spec.coerce("assured_access_delay", text) is None
+        # a non-null string for an Optional[float] still parses as float
+        assert spec.coerce("assured_access_delay", "0.05") == 0.05
+
+    def test_coerce_bad_values_fail_fast(self):
+        spec = get_scenario("lossy_path")
+        with pytest.raises(ValueError):
+            spec.coerce("loss_rate", "not-a-number")
+        with pytest.raises(ValueError, match="as bool"):
+            spec.coerce("bursty", "maybe")
+        with pytest.raises(ValueError):
+            spec.coerce("n_hops", "3.5")
+
+    def test_coerce_bool_spellings(self):
+        spec = get_scenario("lossy_path")
+        for text, expected in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("False", False), ("no", False), ("OFF", False),
+        ):
+            assert spec.coerce("bursty", text) is expected
+
+    def test_bind_fills_nothing_and_keeps_extras_out(self):
+        spec = get_scenario("af_assurance")
+        params = {"protocol": "tcp", "target_bps": 1e6}
+        bound = spec.bind(params)
+        assert bound == params
+        assert bound is not params  # a defensive copy
+
+    def test_bind_reports_every_missing_required_param(self):
+        spec = get_scenario("lossy_path")
+        with pytest.raises(ValueError) as excinfo:
+            spec.bind({})
+        message = str(excinfo.value)
+        assert "loss_rate" in message and "protocol" in message
+
+    def test_bind_reports_every_unknown_param(self):
+        spec = get_scenario("lossy_path")
+        with pytest.raises(ValueError) as excinfo:
+            spec.bind({"protocol": "tcp", "loss_rate": 0.01, "a": 1, "b": 2})
+        message = str(excinfo.value)
+        assert "'a'" in message and "'b'" in message
+
+    def test_optional_params_detected_from_union_syntax(self):
+        # Optional[float] on af_assurance; plain params are not optional
+        spec = get_scenario("af_assurance")
+        assert "assured_access_delay" in spec.optional
+        assert "protocol" not in spec.optional
+        # "none" stays a real value for a plain str parameter
+        assert spec.coerce("protocol", "none") == "none"
+
 
 class TestExpandGrid:
     def test_cross_product_in_insertion_order(self):
@@ -340,6 +398,49 @@ class TestCli:
             ]
         ) == 0
         assert "(0 computed, 2 cached)" in capsys.readouterr().out
+
+    def test_run_format_json_is_pure_data(self, capsys):
+        import json
+
+        code = cli_main(
+            [
+                "run", "negotiation",
+                "--sweep", "pair=default/default,server/mobile",
+                "--no-cache", "--format", "json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout parses as-is
+        assert [entry["params"]["pair"] for entry in payload] == [
+            "default/default", "server/mobile",
+        ]
+        assert all(entry["scenario"] == "negotiation" for entry in payload)
+        # per-run progress moved to stderr for machine-readable formats
+        assert "[" in captured.err
+
+    def test_run_format_csv_is_pure_data(self, capsys):
+        code = cli_main(
+            [
+                "run", "negotiation",
+                "--sweep", "pair=default/default",
+                "--no-cache", "--quiet", "--format", "csv",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("pair,")
+        assert len(lines) == 2
+        assert lines[1].startswith("default/default,")
+
+    def test_run_format_table_is_default_with_summary(self, capsys):
+        assert cli_main(
+            ["run", "negotiation", "--sweep", "pair=default/default",
+             "--no-cache", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep: negotiation" in out
+        assert "1 runs (1 computed, 0 cached)" in out
 
     def test_run_unknown_scenario_errors(self, capsys):
         assert cli_main(["run", "nope"]) == 2
@@ -632,9 +733,11 @@ class TestWarmPoolRegistryKey:
                    base=base, workers=2)
         created = runner_mod.warm_pool_stats()["created"]
 
-        @register("wp_dynamic_probe", grid={})
-        def wp_dynamic_probe(seed: int = 0) -> dict:
-            return {"seed": seed, "value": seed * 2}
+        with pytest.warns(DeprecationWarning):  # raw-dict return contract
+
+            @register("wp_dynamic_probe", grid={})
+            def wp_dynamic_probe(seed: int = 0) -> dict:
+                return {"seed": seed, "value": seed * 2}
 
         try:
             records = run_matrix("wp_dynamic_probe", {"seed": (0, 1)},

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.instances import QTPAF, QTPLIGHT, TFRC_MEDIA
 from repro.core.profile import ReliabilityMode
-from repro.harness.scenarios import (
+from repro.harness import (
     af_dumbbell_scenario,
     estimation_accuracy_scenario,
     friendliness_scenario,

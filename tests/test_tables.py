@@ -1,6 +1,6 @@
 """Unit tests for the benchmark table formatter."""
 
-from repro.harness.tables import format_table
+from repro.harness.tables import _cell, format_table
 
 
 class TestFormatTable:
@@ -29,3 +29,44 @@ class TestFormatTable:
     def test_empty_rows(self):
         text = format_table(["a", "b"], [])
         assert len(text.splitlines()) == 2
+
+
+class TestCellFormatting:
+    """The float-format regime boundaries of tables._cell."""
+
+    def test_zero_is_bare(self):
+        assert _cell(0.0) == "0"
+        assert _cell(-0.0) == "0"
+
+    def test_thousands_regime_from_1000(self):
+        # >= 1000 switches to comma-grouped integers
+        assert _cell(999.9994) == "999.999"
+        assert _cell(1000.0) == "1,000"
+        assert _cell(1234567.89) == "1,234,568"
+
+    def test_unit_regime_from_1(self):
+        # [1, 1000) keeps three decimals
+        assert _cell(1.0) == "1.000"
+        assert _cell(3.14159) == "3.142"
+        assert _cell(999.0) == "999.000"
+
+    def test_subunit_regime_keeps_four_decimals(self):
+        assert _cell(0.99999) == "1.0000"  # rounding may cross the bound
+        assert _cell(0.12345) == "0.1235"
+        assert _cell(0.0001) == "0.0001"
+        assert _cell(0.00001) == "0.0000"  # underflow renders as zeros
+
+    def test_negative_values_keep_their_regime(self):
+        assert _cell(-1234.5) == "-1,234"  # formatted as >=1000 magnitude
+        assert _cell(-3.14159) == "-3.142"
+        assert _cell(-0.12345) == "-0.1235"
+
+    def test_non_floats_pass_through_str(self):
+        assert _cell(7) == "7"
+        assert _cell(True) == "True"
+        assert _cell("x") == "x"
+        assert _cell(None) == "None"
+
+    def test_bools_are_not_treated_as_floats(self):
+        # bool is an int subclass, not a float: no decimal formatting
+        assert _cell(False) == "False"

@@ -134,7 +134,7 @@ class TestFeedback:
 
 class TestSmoothness:
     def test_tfrc_smoother_than_tcp(self):
-        from repro.harness.scenarios import smoothness_scenario
+        from repro.harness.experiments.smoothness import smoothness_scenario
 
         tfrc = smoothness_scenario("tfrc", duration=40, warmup=10, seed=4)
         tcp = smoothness_scenario("tcp", duration=40, warmup=10, seed=4)

@@ -4,11 +4,17 @@ import dataclasses
 
 import pytest
 
+from repro.netem.channels import (
+    BernoulliLossChannel,
+    GilbertElliottChannel,
+    JitterChannel,
+)
 from repro.qos.marking import BestEffortMarker, ProfileMarker
 from repro.sim.engine import Simulator
 from repro.sim.packet import Color
 from repro.sim.queues import DropTailQueue, RedQueue, RioQueue
 from repro.topo import (
+    ChannelSpec,
     FlowSpec,
     LinkSpec,
     MarkerSpec,
@@ -18,6 +24,7 @@ from repro.topo import (
     TopologySpec,
     build,
     hetero_sla_dumbbell_spec,
+    lossy_chain_spec,
     parking_lot_spec,
     reverse_path_chain_spec,
     t1_dumbbell_spec,
@@ -117,6 +124,112 @@ class TestSpecValidation:
                 LinkSpec("b", "a", 5e5, 0.05, duplex=False),
             )
         )
+
+
+class TestChannelSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            ChannelSpec(kind="lossy")
+
+    def test_params_must_match_kind(self):
+        with pytest.raises(ValueError, match="does not use"):
+            ChannelSpec(kind="bernoulli", loss_rate=0.1, max_jitter=0.01)
+        with pytest.raises(ValueError, match="does not use"):
+            ChannelSpec(kind="gilbert_elliott", loss_rate=0.1)
+        with pytest.raises(ValueError, match="does not use"):
+            ChannelSpec(kind="none", loss_rate=0.1)
+
+    def test_required_params_enforced(self):
+        with pytest.raises(ValueError, match="requires loss_rate"):
+            ChannelSpec(kind="bernoulli")
+        with pytest.raises(ValueError, match="requires max_jitter"):
+            ChannelSpec(kind="jitter")
+
+    def test_channel_specs_are_frozen_and_hashable(self):
+        spec = ChannelSpec(kind="bernoulli", loss_rate=0.05)
+        hash(spec)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.loss_rate = 0.1
+
+    def test_compiler_builds_channel_per_direction(self):
+        sim = Simulator(seed=0)
+        links = (
+            LinkSpec(
+                "a", "b", 1e6, 0.01,
+                channel=ChannelSpec(kind="bernoulli", loss_rate=0.25),
+            ),
+        )
+        built = build(
+            sim, ScenarioSpec("c", TopologySpec(links=links), flows=())
+        )
+        forward = built.link("a", "b").channel
+        reverse = built.link("b", "a").channel
+        assert isinstance(forward, BernoulliLossChannel)
+        assert isinstance(reverse, BernoulliLossChannel)
+        assert forward is not reverse  # fresh instance per direction
+        # both draw from the shared named stream (chain() convention)
+        assert forward._rng is sim.rng("wireless")
+        assert reverse._rng is sim.rng("wireless")
+
+    def test_reverse_channel_override_and_none(self):
+        sim = Simulator(seed=0)
+        links = (
+            LinkSpec(
+                "a", "b", 1e6, 0.01,
+                channel=ChannelSpec(kind="bernoulli", loss_rate=0.25),
+                reverse_channel=ChannelSpec(kind="none"),
+            ),
+            LinkSpec(
+                "b", "c", 1e6, 0.01,
+                channel=ChannelSpec(kind="jitter", max_jitter=0.002),
+                reverse_channel=ChannelSpec(
+                    kind="gilbert_elliott", p_g2b=0.1, p_b2g=0.5
+                ),
+            ),
+        )
+        built = build(
+            sim, ScenarioSpec("c2", TopologySpec(links=links), flows=())
+        )
+        assert built.link("b", "a").channel is None
+        assert isinstance(built.link("b", "c").channel, JitterChannel)
+        reverse = built.link("c", "b").channel
+        assert isinstance(reverse, GilbertElliottChannel)
+        assert reverse.p_g2b == 0.1 and reverse.p_b2g == 0.5
+
+    def test_lossy_chain_preset_matches_hand_built_chain(self):
+        # the spec-compiled F2 chain reproduces chain(channel_factory=...)
+        # exactly (same rng stream, channel order and parameters)
+        from repro.netem.channels import BernoulliLossChannel as Bern
+        from repro.sim.topology import chain
+
+        sim_spec = Simulator(seed=5)
+        built = build(sim_spec, lossy_chain_spec("tcp", 0.1, n_hops=2))
+        sim_hand = Simulator(seed=5)
+        rng = sim_hand.rng("wireless")
+        topo = chain(
+            sim_hand, n_hops=2, rate=2e6, delay=0.005,
+            channel_factory=lambda: Bern(0.1, rng=rng),
+        )
+        for i in range(2):
+            spec_ch = built.link(f"h{i}", f"h{i + 1}").channel
+            hand_ch = topo.hops[i].channel
+            assert type(spec_ch) is type(hand_ch)
+            assert spec_ch.loss_rate == hand_ch.loss_rate
+
+    def test_lossy_chain_clean_path_has_no_channels(self):
+        sim = Simulator(seed=0)
+        built = build(sim, lossy_chain_spec("tcp", 0.0, n_hops=2))
+        for i in range(2):
+            assert built.link(f"h{i}", f"h{i + 1}").channel is None
+
+    def test_lossy_chain_bursty_solves_target_rate(self):
+        spec = lossy_chain_spec("tfrc", 0.05, bursty=True)
+        channel = spec.topology.links[0].channel
+        assert channel.kind == "gilbert_elliott"
+        sim = Simulator(seed=0)
+        built = build(sim, spec)
+        ge = built.link("h0", "h1").channel
+        assert ge.steady_state_loss_rate() == pytest.approx(0.05, rel=1e-6)
 
 
 class TestCompiler:
