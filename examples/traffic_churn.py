@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Generate a churning flow population from specs (PR 6).
+
+Walkthrough of the ``repro.traffic`` pipeline: declare a population
+(arrival process x class mix x endpoint pool), expand it into ordinary
+``FlowSpec`` tuples with one seed, attach per-flow SLAs to a generated
+topology, build, run, and read flow-completion-time metrics.  The same
+population re-expands bit-identically for the same seed — generated
+workloads sweep and golden-pin exactly like hand-enumerated ones.
+
+Run:  python examples/traffic_churn.py
+"""
+
+from repro.metrics import fct_summary
+from repro.sim.engine import Simulator
+from repro.topo import ScenarioSpec, build
+from repro.topo.generators import access_star_endpoints, access_star_spec
+from repro.traffic import (
+    ArrivalSpec,
+    FlowClassSpec,
+    PopulationSpec,
+    SizeSpec,
+    apply_slas,
+    expand_population,
+)
+
+DURATION = 12.0
+SEED = 0
+
+
+def main() -> None:
+    # 1. the shape: 24 subscriber hosts behind one 20 Mbit/s RIO uplink
+    topology = access_star_spec(24, bottleneck_bps=20e6)
+
+    # 2. the workload: Poisson churn, 90% heavy-tailed TCP mice and 10%
+    #    large assured QTPAF elephants (each with a 2 Mbit/s guarantee)
+    population = PopulationSpec(
+        name="churn",
+        arrival=ArrivalSpec(kind="poisson", rate_per_s=12.0),
+        classes=(
+            FlowClassSpec(
+                "mice", 0.9, "tcp",
+                SizeSpec(kind="pareto", alpha=1.3,
+                         min_bytes=4_000, max_bytes=120_000),
+            ),
+            FlowClassSpec(
+                "elephant", 0.1, "qtpaf",
+                SizeSpec(kind="fixed", size_bytes=1_000_000),
+                target_bps=2e6,
+            ),
+        ),
+        endpoints=access_star_endpoints(24),
+        n_flows=80,
+        horizon=DURATION,
+    )
+
+    # 3. expand: a pure function of (spec, seed) -> tuple[FlowSpec, ...].
+    #    Arrivals, class draws, sizes and endpoints come from four
+    #    independent named RNG streams, so changing e.g. the size
+    #    distribution never perturbs the arrival times.
+    flows = expand_population(population, SEED)
+    assert flows == expand_population(population, SEED)  # deterministic
+
+    # 4. close the DiffServ loop: every assured elephant gets its own
+    #    srTCM edge meter on its access link
+    spec = ScenarioSpec(
+        name="traffic_churn",
+        topology=apply_slas(topology, flows),
+        flows=flows,
+        description="generated mice/elephant churn on an access star",
+    )
+
+    # 5. build and run like any other scenario
+    sim = Simulator(seed=SEED)
+    built = build(sim, spec)
+    sim.run(until=DURATION)
+
+    # 6. every generated flow is finite (size_bytes), so flows *depart*:
+    #    completion times are the population-scale metric
+    done = built.completions()
+    mice = fct_summary([c for c in done if c.flow_id.startswith("mice")])
+    elephants = fct_summary(
+        [c for c in done if c.flow_id.startswith("elephant")]
+    )
+
+    n_mice = sum(1 for f in flows if f.transport == "tcp")
+    n_elephants = len(flows) - n_mice
+    print(f"population: {len(flows)} flows "
+          f"({n_mice} mice, {n_elephants} elephants) over {DURATION:.0f}s")
+    print(f"mice:      {mice.completed}/{n_mice} completed, "
+          f"FCT mean {mice.mean * 1e3:.0f} ms, p95 {mice.p95 * 1e3:.0f} ms")
+    print(f"elephants: {elephants.completed}/{n_elephants} completed, "
+          f"FCT mean {elephants.mean:.2f} s")
+    drops = built.queue("gw", "srv").stats.dropped
+    print(f"bottleneck drops: {drops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -158,8 +158,9 @@ class QtpReceiver(Agent):
         self.app_latencies.append(self.sim.now - packet.created_at)
         if self.on_deliver is not None:
             self.on_deliver(packet)
-        elif self._pool is not None:
-            # terminal sink (no app callback that might retain): recycle
+        if self._pool is not None:
+            # terminal sink: recycle unless the app callback claimed the
+            # packet via Packet.retain() (which makes this a no-op)
             self._pool.release(packet)
 
     def _poll_buffer(self) -> None:

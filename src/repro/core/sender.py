@@ -17,7 +17,7 @@ precedence over new data.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.core.profile import (
     CongestionControl,
@@ -57,6 +57,13 @@ class QtpSender(Agent):
     sender_meter: cost meter charged for sender-side estimation work
         (shows where QTPlight moved the load).
     controller: override the congestion controller (tests/ablations).
+    size_bytes: optional finite byte budget for the *bulk* source.  The
+        sender stops injecting new data once that many fresh bytes have
+        been transmitted, and completes — stamping ``completed_at`` and
+        firing ``on_complete`` — once the budget is also out of the
+        reliability scoreboard (acknowledged or abandoned; immediately
+        after the last send when the profile keeps no scoreboard).
+        Explicitly queued messages are not budgeted.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class QtpSender(Agent):
         bulk: bool = True,
         sender_meter: Optional[CostMeter] = None,
         controller: Optional[TfrcRateController] = None,
+        size_bytes: Optional[int] = None,
     ):
         super().__init__(sim)
         self.dst = dst
@@ -83,6 +91,12 @@ class QtpSender(Agent):
             else None
         )
         self._app_queue: Deque[Tuple[AppDataHeader, int]] = deque()
+        if size_bytes is not None and size_bytes <= 0:
+            raise ValueError("size_bytes must be positive (or None)")
+        self.size_bytes = size_bytes
+        self._new_bytes_sent = 0
+        self.completed_at: Optional[float] = None
+        self.on_complete: Optional[Callable[["QtpSender"], None]] = None
         self.next_seq = 0
         self.sent_packets = 0
         self.sent_bytes = 0
@@ -167,6 +181,9 @@ class QtpSender(Agent):
             return
         self._last_send_time = self.sim.now
         self._transmit_something()
+        self._maybe_complete()
+        if not self._running:  # completed (or stopped) during this tick
+            return
         self._send_event = self.sim.schedule(
             self.controller.send_interval(), self._tick
         )
@@ -194,8 +211,32 @@ class QtpSender(Agent):
         if self._app_queue:
             app, size = self._app_queue.popleft()
             self._transmit_new(app, size)
-        elif self.bulk:
+        elif self.bulk and (
+            self.size_bytes is None or self._new_bytes_sent < self.size_bytes
+        ):
             self._transmit_new(None, self.profile.segment_size)
+
+    def _maybe_complete(self) -> None:
+        """Finish a byte-budgeted flow once its data is out of flight.
+
+        Budget spent, nothing queued, and — when the profile tracks
+        outstanding data — an empty scoreboard (everything acknowledged
+        or abandoned).  Profiles without SACK feedback complete right
+        after the budget's last transmission (send-based completion,
+        like the unreliable media sources they model).
+        """
+        if self.size_bytes is None or self.completed_at is not None:
+            return
+        if not self._running or self._new_bytes_sent < self.size_bytes:
+            return
+        if self._app_queue:
+            return
+        if self.scoreboard is not None and self.scoreboard.outstanding > 0:
+            return
+        self.completed_at = self.sim.now
+        self.stop()
+        if self.on_complete is not None:
+            self.on_complete(self)
 
     def _retransmit_one(self) -> bool:
         if self.scoreboard is None:
@@ -228,6 +269,7 @@ class QtpSender(Agent):
         self.next_seq += 1
         if self.scoreboard is not None:
             self.scoreboard.on_send(seq, size, self.sim.now, app)
+        self._new_bytes_sent += size  # budget counts fresh data only
         self._emit(seq, size, app, retx=False)
 
     def _emit(
@@ -394,6 +436,9 @@ class QtpSender(Agent):
         self.rate_log.append((self.sim.now, self.controller.rate))
         self._nofeedback.restart(self.controller.nofeedback_interval())
         self._reschedule_tick()
+        # ack-based completion: this feedback may have drained the last
+        # budgeted bytes out of the scoreboard
+        self._maybe_complete()
 
     def _on_nofeedback(self) -> None:
         if not self._running:

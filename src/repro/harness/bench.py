@@ -282,6 +282,32 @@ def _bench_t1_scenario() -> float:
     return 1.0
 
 
+def _bench_population_1000() -> float:
+    """Macro: a 1000-flow generated population end to end (PR 6).
+
+    The ``mice_elephants`` scenario at population scale — a Poisson
+    storm of heavy-tailed TCP mice plus 2% assured elephants on a
+    64-host access star, every flow finite so the run is pure churn.
+    Times spec expansion, per-flow SLA conditioning, construction and
+    the full lifecycle (start → byte budget → departure) for a
+    thousand transports; the unit of work is one run, so the rate is
+    runs/s.
+    """
+    from repro.harness.registry import get_scenario
+
+    spec = get_scenario("mice_elephants")
+    spec.fn(
+        "gtfrc",
+        n_hosts=64,
+        n_flows=1000,
+        arrival_rate_per_s=250.0,
+        elephant_share=0.02,
+        duration=6.0,
+        seed=1,
+    )
+    return 1.0
+
+
 @dataclass(frozen=True)
 class BenchSpec:
     """One pinned benchmark: a callable returning work units done."""
@@ -303,6 +329,7 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("loss_estimator", _bench_loss_estimator, "packets/s"),
     BenchSpec("t1_scenario", _bench_t1_scenario, "runs/s"),
     BenchSpec("sweep_warm", _bench_sweep_warm, "runs/s"),
+    BenchSpec("population_1000", _bench_population_1000, "runs/s", repeats=1),
 ]
 
 
@@ -557,6 +584,50 @@ def topo_trace_probe(
     return _network_fingerprint(sim, built, bottlenecks)
 
 
+def traffic_trace_probe(
+    scenario: str, seed: int = 0, duration: float = 6.0
+) -> Dict[str, object]:
+    """Fingerprint one of the PR 6 generated-population scenarios.
+
+    Miniaturized fixed parameterizations of the two population
+    workloads (``flash_crowd``, ``mice_elephants``), distilled to the
+    :func:`_network_fingerprint` counters plus the population shape:
+    expanded flow count, completed-flow count and the exact sum of
+    completion times.  Pins the whole generation pipeline — samplers,
+    class mix, endpoint draws, ``apply_slas`` and the byte-budget flow
+    lifecycle — to the seed engine.
+    """
+    from repro.harness.experiments.flash_crowd import flash_crowd_spec
+    from repro.harness.experiments.mice_elephants import mice_elephants_spec
+    from repro.topo import build
+
+    sim = Simulator(seed=seed)
+    if scenario == "flash_crowd":
+        spec = flash_crowd_spec(
+            "gtfrc", 4e6, n_hosts=10, n_flows=24, duration=duration, seed=seed
+        )
+    elif scenario == "mice_elephants":
+        spec = mice_elephants_spec(
+            "qtpaf",
+            2e6,
+            n_hosts=12,
+            n_flows=30,
+            arrival_rate_per_s=8.0,
+            duration=duration,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown traffic probe scenario {scenario!r}")
+    built = build(sim, spec)
+    sim.run(until=duration)
+    fingerprint = _network_fingerprint(sim, built, [("gw", "srv")])
+    done = built.completions()
+    fingerprint["flows"] = len(built.spec.flows)
+    fingerprint["completed"] = len(done)
+    fingerprint["fct_sum"] = repr(sum(c.duration for c in done))
+    return fingerprint
+
+
 #: The (seed, protocol) grid fingerprinted by the golden tests.
 TRACE_PROBE_GRID = (
     ("qtpaf", 0),
@@ -567,6 +638,9 @@ TRACE_PROBE_GRID = (
 
 #: The PR 3 spec-built scenarios fingerprinted by the golden tests.
 TOPO_PROBE_SCENARIOS = ("parking_lot", "reverse_path_chain", "hetero_sla")
+
+#: The PR 6 generated-population scenarios fingerprinted by the goldens.
+TRAFFIC_PROBE_SCENARIOS = ("flash_crowd", "mice_elephants")
 
 
 def capture_goldens() -> Dict[str, object]:
@@ -581,5 +655,8 @@ def capture_goldens() -> Dict[str, object]:
         },
         "topo": {
             name: topo_trace_probe(name) for name in TOPO_PROBE_SCENARIOS
+        },
+        "traffic": {
+            name: traffic_trace_probe(name) for name in TRAFFIC_PROBE_SCENARIOS
         },
     }

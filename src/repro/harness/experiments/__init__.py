@@ -25,6 +25,12 @@ from repro.harness.experiments.estimation import (  # noqa: F401
     EstimationAccuracyResult,
     estimation_accuracy_scenario,
 )
+from repro.harness.experiments.flash_crowd import (  # noqa: F401
+    FLASH_CROWD_PROTOCOLS,
+    FlashCrowdResult,
+    flash_crowd_scenario,
+    flash_crowd_spec,
+)
 from repro.harness.experiments.friendliness import (  # noqa: F401
     FriendlinessResult,
     friendliness_scenario,
@@ -37,6 +43,12 @@ from repro.harness.experiments.hetero_sla import (  # noqa: F401
 from repro.harness.experiments.lossy_path import (  # noqa: F401
     LossyPathResult,
     lossy_path_scenario,
+)
+from repro.harness.experiments.mice_elephants import (  # noqa: F401
+    MICE_ELEPHANTS_PROTOCOLS,
+    MiceElephantsResult,
+    mice_elephants_scenario,
+    mice_elephants_spec,
 )
 from repro.harness.experiments.negotiation_matrix import (  # noqa: F401
     NEGOTIATION_PAIRS,

@@ -1,0 +1,168 @@
+"""W2 — mice vs elephants under DiffServ (PR 6).
+
+A whole generated population on one access-star RIO bottleneck: a
+Poisson stream of flows where most arrivals are short TCP *mice*
+(truncated-Pareto sizes — the classic heavy-tailed web mix) and a
+small fraction are large assured *elephants* carried by gTFRC/QTPAF
+with per-flow srTCM conditioning (:func:`repro.traffic.apply_slas`).
+The question the fixed T1 scaffolds cannot ask: do per-flow AF
+guarantees survive population churn, and what do the guarantees cost
+the best-effort mice in completion time?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
+from repro.metrics.fct import fct_summary
+from repro.sim.engine import Simulator
+from repro.topo import ScenarioSpec, build
+from repro.topo.generators import access_star_endpoints, access_star_spec
+from repro.traffic import (
+    ArrivalSpec,
+    FlowClassSpec,
+    PopulationSpec,
+    SizeSpec,
+    apply_slas,
+    expand_population,
+)
+
+#: Transports accepted for the elephant class.
+MICE_ELEPHANTS_PROTOCOLS = ("gtfrc", "qtpaf")
+
+
+def mice_elephants_spec(
+    protocol: str,
+    target_bps: float,
+    *,
+    n_hosts: int = 32,
+    n_flows: int = 150,
+    arrival_rate_per_s: float = 20.0,
+    elephant_share: float = 0.1,
+    mouse_alpha: float = 1.3,
+    mouse_min_kbytes: float = 4.0,
+    mouse_max_kbytes: float = 120.0,
+    elephant_kbytes: float = 1500.0,
+    bottleneck_bps: float = 20e6,
+    duration: float = 15.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Compose the mice/elephants scenario spec (topology + flows).
+
+    Expands one Poisson population with two weighted classes, then
+    rewrites the topology so every assured elephant gets its own srTCM
+    edge meter (elephants draw endpoints without replacement, so each
+    lands on its own access link).  Pure function of
+    ``(parameters, seed)`` — the traffic goldens pin it.
+    """
+    if protocol not in MICE_ELEPHANTS_PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    topology = access_star_spec(n_hosts, bottleneck_bps=bottleneck_bps)
+    population = PopulationSpec(
+        name="mix",
+        arrival=ArrivalSpec(kind="poisson", rate_per_s=arrival_rate_per_s),
+        classes=(
+            FlowClassSpec(
+                "mice",
+                1.0 - elephant_share,
+                "tcp",
+                SizeSpec(
+                    kind="pareto",
+                    alpha=mouse_alpha,
+                    min_bytes=int(mouse_min_kbytes * 1000),
+                    max_bytes=int(mouse_max_kbytes * 1000),
+                ),
+            ),
+            FlowClassSpec(
+                "elephant",
+                elephant_share,
+                protocol,
+                SizeSpec(kind="fixed", size_bytes=int(elephant_kbytes * 1000)),
+                target_bps=target_bps,
+            ),
+        ),
+        endpoints=access_star_endpoints(n_hosts),
+        n_flows=n_flows,
+        horizon=duration,
+    )
+    flows = expand_population(population, seed)
+    return ScenarioSpec(
+        name="mice_elephants",
+        topology=apply_slas(topology, flows),
+        flows=flows,
+        description="heavy-tailed TCP mice vs assured elephants",
+    )
+
+
+@dataclass
+class MiceElephantsResult(ScenarioResult):
+    """Outcome of one mice/elephants population run."""
+
+    protocol: str
+    target_bps: float
+    n_mice: int
+    n_elephants: int
+    mice_completed: int
+    elephants_completed: int
+    mice_fct_mean_s: float
+    mice_fct_p95_s: float
+    elephant_fct_mean_s: float
+    bottleneck_drops: int
+
+
+@register(
+    "mice_elephants",
+    grid={"protocol": ("gtfrc", "qtpaf"), "elephant_share": (0.05, 0.1)},
+)
+def mice_elephants_scenario(
+    protocol: str = "gtfrc",
+    target_bps: float = 2e6,
+    n_hosts: int = 32,
+    n_flows: int = 150,
+    arrival_rate_per_s: float = 20.0,
+    elephant_share: float = 0.1,
+    bottleneck_bps: float = 20e6,
+    duration: float = 15.0,
+    seed: int = 0,
+) -> MiceElephantsResult:
+    """A Poisson population of TCP mice and assured elephants.
+
+    Every flow is finite (truncated-Pareto mice, fixed-size assured
+    elephants) and departs when its byte budget is acknowledged, so
+    the offered load is pure churn.  Reports per-class completion
+    counts and completion-time statistics plus the shared bottleneck's
+    drop count.
+    """
+    sim = Simulator(seed=seed)
+    spec = mice_elephants_spec(
+        protocol,
+        target_bps,
+        n_hosts=n_hosts,
+        n_flows=n_flows,
+        arrival_rate_per_s=arrival_rate_per_s,
+        elephant_share=elephant_share,
+        bottleneck_bps=bottleneck_bps,
+        duration=duration,
+        seed=seed,
+    )
+    built = build(sim, spec)
+    sim.run(until=duration)
+    done = built.completions()
+    mice_fct = fct_summary([c for c in done if c.flow_id.startswith("mice")])
+    elephant_fct = fct_summary(
+        [c for c in done if c.flow_id.startswith("elephant")]
+    )
+    return MiceElephantsResult(
+        protocol=protocol,
+        target_bps=target_bps,
+        n_mice=sum(1 for f in spec.flows if f.transport == "tcp"),
+        n_elephants=sum(1 for f in spec.flows if f.transport == protocol),
+        mice_completed=mice_fct.completed,
+        elephants_completed=elephant_fct.completed,
+        mice_fct_mean_s=mice_fct.mean,
+        mice_fct_p95_s=mice_fct.p95,
+        elephant_fct_mean_s=elephant_fct.mean,
+        bottleneck_drops=built.queue("gw", "srv").stats.dropped,
+    )

@@ -5,10 +5,13 @@
 * :mod:`repro.metrics.stats` — throughput series, smoothness (CoV),
   Jain fairness, percentiles;
 * :mod:`repro.metrics.recorder` — per-flow delivery recording agents
-  hook into.
+  hook into;
+* :mod:`repro.metrics.fct` — flow-completion-time records and
+  summaries for finite (byte-budgeted) flow populations.
 """
 
 from repro.metrics.cost import CostMeter
+from repro.metrics.fct import FctSummary, FlowCompletion, fct_summary
 from repro.metrics.recorder import FlowRecorder
 from repro.metrics.stats import (
     coefficient_of_variation,
@@ -19,7 +22,10 @@ from repro.metrics.stats import (
 
 __all__ = [
     "CostMeter",
+    "FctSummary",
+    "FlowCompletion",
     "FlowRecorder",
+    "fct_summary",
     "throughput_series",
     "coefficient_of_variation",
     "jain_index",

@@ -218,6 +218,20 @@ class Packet:
         """Return ``(src, dst)`` for a packet answering this one."""
         return self.dst, self.src
 
+    def retain(self) -> "Packet":
+        """Claim this packet for the application; returns self.
+
+        Detaches the packet from pool management (clears ``pooled``),
+        so the receiver's release at the terminal sink becomes a no-op
+        and the object is never recycled.  An ``on_deliver`` callback
+        that keeps the packet (or its header/app rider) past its own
+        return MUST call this; callbacks that only read fields need
+        not, and the packet is recycled as usual.  Idempotent, and
+        harmless on never-pooled packets.
+        """
+        self.pooled = False
+        return self
+
     def copy(self, **changes) -> "Packet":
         """Shallow copy with a fresh uid and optional field overrides.
 
@@ -291,11 +305,14 @@ class PacketPool:
     flag (double release is harmless).  The flag is a promise made at
     the acquire site: *nothing retains this packet or its header object
     past its terminal sink*.  The audited sinks that release are
-    receiver data/feedback consumption (skipped when an ``on_deliver``
-    app callback might retain the packet), queue drops and channel
-    losses.  Components that legitimately retain packets — the
-    reordering :class:`~repro.reliability.delivery.DeliveryBuffer` —
-    release only when they finally hand the packet over.
+    receiver data/feedback consumption, queue drops and channel
+    losses.  Receivers with an ``on_deliver`` app callback invoke the
+    callback first and release afterwards: a callback that keeps the
+    packet past its return must opt out of recycling by calling
+    :meth:`Packet.retain`, which turns that release into a no-op.
+    Components that legitimately retain packets — the reordering
+    :class:`~repro.reliability.delivery.DeliveryBuffer` — release only
+    when they finally hand the packet over.
 
     Use :meth:`PacketPool.of` to get the simulator's pool (``None``
     when :data:`NO_POOL_ENV` disabled pooling at attach time).

@@ -7,7 +7,7 @@ fills the window whenever ACKs open it.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.sack.scoreboard import SenderScoreboard
 from repro.sim.engine import Simulator, Timer
@@ -38,6 +38,11 @@ class TcpSender(Agent):
         for 1000-byte segments).
     max_cwnd: optional receiver/window clamp, segments.
     min_rto: RTO floor in seconds (simulation convention 0.2 s).
+    size_bytes: optional finite byte budget.  The sender transmits
+        ``ceil(size_bytes / segment_size)`` segments of new data, stops
+        itself once the last one is cumulatively acknowledged, stamps
+        ``completed_at`` and fires ``on_complete`` (the flow-lifecycle
+        hook).  ``None`` keeps the historical unbounded bulk sender.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class TcpSender(Agent):
         initial_cwnd: float = 3.0,
         max_cwnd: Optional[float] = None,
         min_rto: float = 0.2,
+        size_bytes: Optional[int] = None,
     ):
         super().__init__(sim)
         self.dst = dst
@@ -71,6 +77,14 @@ class TcpSender(Agent):
         self.scoreboard = SenderScoreboard()
         self._pool = PacketPool.of(sim)
         self._running = False
+        if size_bytes is not None and size_bytes <= 0:
+            raise ValueError("size_bytes must be positive (or None)")
+        self._max_segments = (
+            -(-size_bytes // segment_size) if size_bytes is not None else None
+        )
+        self.size_bytes = size_bytes
+        self.completed_at: Optional[float] = None
+        self.on_complete: Optional[Callable[["TcpSender"], None]] = None
         self.sent_segments = 0
         self.retransmissions = 0
         self.timeouts = 0
@@ -121,7 +135,10 @@ class TcpSender(Agent):
                 if self._pipe() >= self._window():
                     break
                 self._retransmit(record.seq)
+        limit = self._max_segments
         while self._pipe() < self._window():
+            if limit is not None and self.snd_nxt >= limit:
+                break  # byte budget: no new data beyond the last segment
             self._transmit(self.snd_nxt, fresh=True)
             self.snd_nxt += 1
         if self._awaiting_ack() and not self._rto_timer.armed:
@@ -213,6 +230,14 @@ class TcpSender(Agent):
             # a spurious RTO rewound snd_nxt and the original ACKs then
             # overtook it: never (re)send below the cumulative ack
             self.snd_nxt = self.snd_una
+        if (
+            self._max_segments is not None
+            and self.snd_una >= self._max_segments
+        ):
+            # the cumulative ack covers the whole byte budget (nothing
+            # above it was ever sent): the flow is done
+            self._complete()
+            return
         # Karn: only sample RTT for never-retransmitted segments
         if header.timestamp_echo > 0 and (ack - 1) not in self._retransmitted:
             self.rto.update(self.sim.now - header.timestamp_echo)
@@ -271,6 +296,14 @@ class TcpSender(Agent):
         self._in_recovery = False
         self.cwnd = self.ssthresh
         self._dup_acks = 0
+
+    def _complete(self) -> None:
+        if self.completed_at is not None:
+            return
+        self.completed_at = self.sim.now
+        self.stop()
+        if self.on_complete is not None:
+            self.on_complete(self)
 
     # ------------------------------------------------------------------
     def _on_rto(self) -> None:

@@ -88,8 +88,9 @@ class TfrcReceiver(Agent):
             self.recorder.record(self.sim.now, packet)
         if self.on_deliver is not None:
             self.on_deliver(packet)
-        elif self._pool is not None:
-            # terminal sink (no app callback that might retain): recycle
+        if self._pool is not None:
+            # terminal sink: recycle unless the app callback claimed the
+            # packet via Packet.retain() (which makes this a no-op)
             self._pool.release(packet)
         if self._last_feedback_time is None or new_event:
             # first packet, or a fresh loss event: report immediately (§6.2)

@@ -9,7 +9,7 @@ built in :mod:`repro.core` by composition.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.engine import Simulator, Timer
 from repro.sim.node import Agent
@@ -36,6 +36,10 @@ class TfrcSender(Agent):
     segment_size: data packet size in bytes.
     controller: rate controller; a fresh :class:`TfrcRateController`
         (or the gTFRC subclass) — defaults to stock TFRC.
+    size_bytes: optional finite byte budget.  TFRC has no reliability
+        service, so completion is send-based: after the transmission
+        that exhausts the budget the sender stops itself, stamps
+        ``completed_at`` and fires ``on_complete``.
     """
 
     def __init__(
@@ -44,6 +48,7 @@ class TfrcSender(Agent):
         dst: str,
         segment_size: int = 1000,
         controller: Optional[TfrcRateController] = None,
+        size_bytes: Optional[int] = None,
     ):
         super().__init__(sim)
         self.dst = dst
@@ -58,6 +63,11 @@ class TfrcSender(Agent):
         self._last_send_time = 0.0
         self._nofeedback = Timer(sim, self._on_nofeedback)
         self._pool = PacketPool.of(sim)
+        if size_bytes is not None and size_bytes <= 0:
+            raise ValueError("size_bytes must be positive (or None)")
+        self.size_bytes = size_bytes
+        self.completed_at: Optional[float] = None
+        self.on_complete: Optional[Callable[["TfrcSender"], None]] = None
         self.rate_log: list[tuple[float, float]] = []
 
     # ------------------------------------------------------------------
@@ -84,6 +94,13 @@ class TfrcSender(Agent):
             return
         self._last_send_time = self.sim.now
         self._transmit_one()
+        if self.size_bytes is not None and self.sent_bytes >= self.size_bytes:
+            # send-based completion: the budget's last packet just left
+            self.completed_at = self.sim.now
+            self.stop()
+            if self.on_complete is not None:
+                self.on_complete(self)
+            return
         self._send_event = self.sim.schedule(
             self.controller.send_interval(), self._send_next
         )

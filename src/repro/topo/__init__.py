@@ -19,6 +19,11 @@ Module map
     senders/receivers and recorders in a pinned, documented order
     (goldens fingerprint it) and returns a :class:`BuiltScenario`
     handle keyed by flow id and link direction.
+:mod:`repro.topo.generators`
+    Programmatic topology generators for generated populations
+    (:func:`access_star_spec`, :func:`isp_chain_spec`,
+    :func:`fat_tree_spec`) plus their ``*_endpoints`` pools, all in
+    pinned deterministic order.
 :mod:`repro.topo.presets`
     Canonical specs: the shared :func:`t1_dumbbell_spec` (the one copy
     of the T1 scaffold that ``af_assurance``, ``gtfrc_ablation``,
@@ -40,6 +45,14 @@ See ``examples/compose_scenario.py`` for a from-scratch custom spec.
 """
 
 from repro.topo.build import BuiltScenario, build  # noqa: F401
+from repro.topo.generators import (  # noqa: F401
+    access_star_endpoints,
+    access_star_spec,
+    fat_tree_endpoints,
+    fat_tree_spec,
+    isp_chain_endpoints,
+    isp_chain_spec,
+)
 from repro.topo.presets import (  # noqa: F401
     hetero_sla_dumbbell_spec,
     lossy_chain_spec,
@@ -68,8 +81,14 @@ __all__ = [
     "ScenarioSpec",
     "SlaSpec",
     "TopologySpec",
+    "access_star_endpoints",
+    "access_star_spec",
     "build",
+    "fat_tree_endpoints",
+    "fat_tree_spec",
     "hetero_sla_dumbbell_spec",
+    "isp_chain_endpoints",
+    "isp_chain_spec",
     "lossy_chain_spec",
     "parking_lot_spec",
     "reverse_path_chain_spec",

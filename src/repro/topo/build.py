@@ -37,6 +37,7 @@ from repro.core.instances import QTPAF, TFRC_MEDIA
 from repro.core.profile import ReliabilityMode, TransportProfile
 from repro.core.receiver import QtpReceiver
 from repro.core.sender import QtpSender
+from repro.metrics.fct import FlowCompletion
 from repro.metrics.recorder import FlowRecorder
 from repro.qos.marking import BestEffortMarker, ProfileMarker
 from repro.qos.sla import ServiceLevelAgreement
@@ -100,6 +101,28 @@ class BuiltScenario:
     def recorder(self, flow_id: str) -> FlowRecorder:
         """The recorder of ``flow_id``; KeyError for unrecorded flows."""
         return self.recorders[flow_id]
+
+    def completions(self) -> Tuple[FlowCompletion, ...]:
+        """Finished finite flows, in flow-spec order.
+
+        One :class:`~repro.metrics.fct.FlowCompletion` per
+        byte-budgeted flow (``FlowSpec.size_bytes``) whose sender has
+        stamped ``completed_at``; still-running and unbounded flows are
+        absent.  Feed the result to
+        :func:`repro.metrics.fct.fct_summary`.
+        """
+        done = []
+        for fs in self.spec.flows:
+            if fs.size_bytes is None:
+                continue
+            completed_at = self.senders[fs.flow_id].completed_at
+            if completed_at is not None:
+                done.append(
+                    FlowCompletion(
+                        fs.flow_id, fs.start, completed_at, fs.size_bytes
+                    )
+                )
+        return tuple(done)
 
 
 def build(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
@@ -251,7 +274,9 @@ def _build_flow(
 ) -> Tuple[Sender, Receiver]:
     """Construct/attach one flow's endpoints (sender first, see module doc)."""
     if fs.transport == "tcp":
-        sender: Sender = TcpSender(sim, dst=fs.dst, sack=fs.sack)
+        sender: Sender = TcpSender(
+            sim, dst=fs.dst, sack=fs.sack, size_bytes=fs.size_bytes
+        )
         receiver: Receiver = TcpReceiver(sim, recorder=recorder, sack=fs.sack)
     else:
         profile = _profile_for(fs)
@@ -260,7 +285,13 @@ def _build_flow(
             controller = GtfrcRateController(
                 fs.target_bps / 8, profile.segment_size, p_scaling=True
             )
-        sender = QtpSender(sim, dst=fs.dst, profile=profile, controller=controller)
+        sender = QtpSender(
+            sim,
+            dst=fs.dst,
+            profile=profile,
+            controller=controller,
+            size_bytes=fs.size_bytes,
+        )
         receiver = QtpReceiver(sim, profile=profile, recorder=recorder)
     sender.attach(net.node(fs.src), fs.flow_id)
     receiver.attach(net.node(fs.dst), fs.flow_id)

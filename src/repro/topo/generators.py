@@ -1,0 +1,152 @@
+"""Programmatic topology generators (PR 6).
+
+Parameterized network shapes for generated populations: an access star
+(the canonical "many subscribers behind one conditioned uplink"), an
+ISP-style parking-lot chain of N RIO bottlenecks, and a small folded
+fat-tree.  Each generator returns a plain
+:class:`~repro.topo.specs.TopologySpec` with links in a **pinned
+deterministic order** (bottleneck links first, then access links in
+host order — the convention the hand-written presets follow), so a
+generated topology builds bit-identically for the same parameters.
+
+Each shape ships an ``*_endpoints`` helper returning the natural
+``(src, dst)`` pool for :class:`~repro.traffic.specs.PopulationSpec`,
+in the same pinned order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topo.presets import RIO
+from repro.topo.specs import LinkSpec, TopologySpec
+
+Endpoints = Tuple[Tuple[str, str], ...]
+
+
+def access_star_spec(
+    n_hosts: int,
+    *,
+    bottleneck_bps: float = 20e6,
+    bottleneck_delay: float = 0.02,
+    access_rate: float = 100e6,
+    access_delay: float = 0.002,
+) -> TopologySpec:
+    """An access star: ``h{i} -> gw -> srv`` over one RIO bottleneck.
+
+    ``n_hosts`` subscriber hosts each hold a private access link to the
+    gateway ``gw``; all share the conditioned ``gw -> srv`` uplink.
+    Link order: the bottleneck first, then the access links in host
+    order — per-host markers (see
+    :func:`repro.traffic.population.apply_slas`) land on the ``h{i} ->
+    gw`` links.
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    links: List[LinkSpec] = [
+        LinkSpec("gw", "srv", bottleneck_bps, bottleneck_delay, queue=RIO)
+    ]
+    for i in range(n_hosts):
+        links.append(LinkSpec(f"h{i}", "gw", access_rate, access_delay))
+    return TopologySpec(links=tuple(links))
+
+
+def access_star_endpoints(n_hosts: int) -> Endpoints:
+    """The star's natural flow endpoints: each host talks to ``srv``."""
+    return tuple((f"h{i}", "srv") for i in range(n_hosts))
+
+
+def isp_chain_spec(
+    n_bottlenecks: int,
+    hosts_per_pop: int = 1,
+    *,
+    bottleneck_bps: float = 10e6,
+    hop_delay: float = 0.01,
+    access_rate: float = 100e6,
+    access_delay: float = 0.002,
+) -> TopologySpec:
+    """A parking-lot ISP chain: N RIO bottlenecks ``r{i} -> r{i+1}``.
+
+    Routers ``r0 .. r{N}`` form the backbone; every router (PoP) hosts
+    ``hosts_per_pop`` subscriber nodes ``p{i}h{k}`` on private access
+    links.  Link order: the N backbone bottlenecks first (in hop
+    order), then the access links in ``(PoP, host)`` order.
+    """
+    if n_bottlenecks < 1:
+        raise ValueError("need at least one bottleneck")
+    if hosts_per_pop < 1:
+        raise ValueError("need at least one host per PoP")
+    links: List[LinkSpec] = [
+        LinkSpec(f"r{i}", f"r{i + 1}", bottleneck_bps, hop_delay, queue=RIO)
+        for i in range(n_bottlenecks)
+    ]
+    for i in range(n_bottlenecks + 1):
+        for k in range(hosts_per_pop):
+            links.append(
+                LinkSpec(f"p{i}h{k}", f"r{i}", access_rate, access_delay)
+            )
+    return TopologySpec(links=tuple(links))
+
+
+def isp_chain_endpoints(
+    n_bottlenecks: int, hosts_per_pop: int = 1
+) -> Endpoints:
+    """Chain endpoints: per-hop neighbour pairs, then long-haul pairs.
+
+    For every bottleneck ``i`` and host index ``k`` the pair
+    ``(p{i}h{k}, p{i+1}h{k})`` crosses exactly that hop; the trailing
+    ``(p0h{k}, p{N}h{k})`` pairs cross the whole chain (the multi-hop
+    flows the parking-lot experiments stress).
+    """
+    pairs: List[Tuple[str, str]] = []
+    for i in range(n_bottlenecks):
+        for k in range(hosts_per_pop):
+            pairs.append((f"p{i}h{k}", f"p{i + 1}h{k}"))
+    if n_bottlenecks > 1:
+        for k in range(hosts_per_pop):
+            pairs.append((f"p0h{k}", f"p{n_bottlenecks}h{k}"))
+    return tuple(pairs)
+
+
+def fat_tree_spec(
+    n_pods: int = 2,
+    hosts_per_pod: int = 2,
+    *,
+    core_rate_bps: float = 40e6,
+    agg_rate_bps: float = 100e6,
+    core_delay: float = 0.005,
+    access_delay: float = 0.002,
+) -> TopologySpec:
+    """A small folded fat-tree: one core, one aggregation switch per pod.
+
+    ``core -> agg{p} -> p{p}h{k}``; cross-pod traffic funnels through
+    the RIO-queued core links.  This is the single-core *degenerate*
+    fat-tree (a tree): with one route per pair there is no multipath to
+    exploit, which matches the simulator's single-shortest-path
+    routing — the shape is here for its hierarchy and its shared-core
+    contention, not for ECMP.  Link order: core links in pod order,
+    then host links in ``(pod, host)`` order.
+    """
+    if n_pods < 2:
+        raise ValueError("need at least two pods")
+    if hosts_per_pod < 1:
+        raise ValueError("need at least one host per pod")
+    links: List[LinkSpec] = [
+        LinkSpec("core", f"agg{p}", core_rate_bps, core_delay, queue=RIO)
+        for p in range(n_pods)
+    ]
+    for p in range(n_pods):
+        for k in range(hosts_per_pod):
+            links.append(
+                LinkSpec(f"p{p}h{k}", f"agg{p}", agg_rate_bps, access_delay)
+            )
+    return TopologySpec(links=tuple(links))
+
+
+def fat_tree_endpoints(n_pods: int = 2, hosts_per_pod: int = 2) -> Endpoints:
+    """Cross-pod pairs: host ``k`` of pod ``p`` talks to pod ``p+1``'s."""
+    return tuple(
+        (f"p{p}h{k}", f"p{(p + 1) % n_pods}h{k}")
+        for p in range(n_pods)
+        for k in range(hosts_per_pod)
+    )

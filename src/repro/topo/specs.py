@@ -256,6 +256,17 @@ class FlowSpec:
     during construction (the historical scaffold behaviour, which pins
     event tie-breaking), a positive ``start`` schedules it, and a
     non-``None`` ``stop`` schedules ``sender.stop``.
+
+    ``size_bytes`` gives the flow a finite byte budget: the sender
+    transmits that much application data, then stops itself once the
+    budget is delivered (acknowledged for reliable transports, sent for
+    unreliable ones) and records its completion time (see
+    :meth:`repro.topo.build.BuiltScenario.completions`).  **Precedence
+    between ``stop`` and the byte budget: whichever fires first wins.**
+    A ``stop`` time cuts a still-unfinished flow off without a
+    completion; a flow that exhausts its budget earlier stops then, and
+    the later scheduled ``stop`` is a harmless no-op.  ``None`` (the
+    default) keeps the historical unbounded bulk flow.
     """
 
     flow_id: str
@@ -268,6 +279,7 @@ class FlowSpec:
     stop: Optional[float] = None
     p_scaling: bool = False
     sack: bool = True  # tcp only
+    size_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -283,6 +295,11 @@ class FlowSpec:
             raise ValueError(f"flow {self.flow_id!r}: start must be >= 0")
         if self.stop is not None and self.stop <= self.start:
             raise ValueError(f"flow {self.flow_id!r}: stop must be > start")
+        if self.size_bytes is not None and self.size_bytes <= 0:
+            raise ValueError(
+                f"flow {self.flow_id!r}: size_bytes must be positive "
+                f"(got {self.size_bytes!r}); use None for an unbounded flow"
+            )
         # parameters that only one transport consumes must not be set
         # elsewhere — they would be silently ignored (same policy as
         # QueueSpec's kind/parameter cross-check)

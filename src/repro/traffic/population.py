@@ -1,0 +1,142 @@
+"""Population expander: ``PopulationSpec -> tuple[FlowSpec, ...]``.
+
+:func:`expand_population` is a pure function of ``(spec, seed)``.  It
+draws from four *independent* named streams — ``arrivals``,
+``classes``, ``sizes``, ``endpoints`` — each seeded
+``random.Random(f"{seed}:{spec.rng_stream}:{substream}")``, the same
+derivation :meth:`repro.sim.engine.Simulator.rng` uses for its named
+streams.  Independence means changing one axis (say the size
+distribution) never perturbs another (the arrival times), which is
+what keeps population sweeps comparable across parameters; the
+determinism tests pin both properties.
+
+:func:`apply_slas` closes the DiffServ loop: every assured flow the
+expander emitted needs an srTCM edge meter on its access link, and
+this rewrites a :class:`~repro.topo.specs.TopologySpec` to attach
+them, one marker-free link per flow, in flow order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Iterable, List, Tuple
+
+from repro.topo.specs import FlowSpec, MarkerSpec, SlaSpec, TopologySpec
+from repro.traffic.samplers import sample_arrivals, sample_size
+from repro.traffic.specs import PopulationSpec
+
+#: Transports whose flows hold a per-flow AF guarantee.
+ASSURED_TRANSPORTS = ("gtfrc", "qtpaf")
+
+
+def expand_population(spec: PopulationSpec, seed: int) -> Tuple[FlowSpec, ...]:
+    """Expand one population into concrete flows, in arrival order.
+
+    Flow ids are ``f"{class.name}{i}"`` with ``i`` the arrival index
+    across the whole population, so ids are unique even across classes.
+    Best-effort flows draw their endpoint pair uniformly *with*
+    replacement; assured flows draw *without* replacement (each needs
+    its own conditioned access link — see :func:`apply_slas`) and a
+    population with more assured arrivals than endpoint pairs raises
+    ``ValueError``.
+    """
+    arrivals_rng = _stream(spec, seed, "arrivals")
+    classes_rng = _stream(spec, seed, "classes")
+    sizes_rng = _stream(spec, seed, "sizes")
+    endpoints_rng = _stream(spec, seed, "endpoints")
+
+    times = sample_arrivals(
+        spec.arrival, arrivals_rng, spec.horizon, spec.n_flows
+    )
+    total_weight = sum(cls.weight for cls in spec.classes)
+    assured_pool: List[Tuple[str, str]] = list(spec.endpoints)
+
+    flows: List[FlowSpec] = []
+    for i, t in enumerate(times):
+        cls = _pick_class(spec, classes_rng, total_weight)
+        size = sample_size(cls.size, sizes_rng)
+        if cls.transport in ASSURED_TRANSPORTS:
+            if not assured_pool:
+                raise ValueError(
+                    f"population {spec.name!r}: ran out of endpoint pairs "
+                    f"for assured flow {cls.name}{i} (assured flows draw "
+                    "without replacement; add endpoints or lower the "
+                    "assured class weight)"
+                )
+            src, dst = assured_pool.pop(
+                endpoints_rng.randrange(len(assured_pool))
+            )
+        else:
+            src, dst = spec.endpoints[
+                endpoints_rng.randrange(len(spec.endpoints))
+            ]
+        flows.append(
+            FlowSpec(
+                f"{cls.name}{i}",
+                src,
+                dst,
+                transport=cls.transport,
+                target_bps=cls.target_bps,
+                record=cls.record,
+                start=spec.start + t,
+                size_bytes=size,
+            )
+        )
+    return tuple(flows)
+
+
+def _stream(spec: PopulationSpec, seed: int, substream: str) -> random.Random:
+    return random.Random(f"{seed}:{spec.rng_stream}:{substream}")
+
+
+def _pick_class(spec, rng: random.Random, total_weight: float):
+    # one draw per flow regardless of the class count, so adding a
+    # class never shifts which draw later flows consume
+    x = rng.random() * total_weight
+    acc = 0.0
+    for cls in spec.classes:
+        acc += cls.weight
+        if x < acc:
+            return cls
+    return spec.classes[-1]
+
+
+def apply_slas(
+    topology: TopologySpec,
+    flows: Iterable[FlowSpec],
+    burst_bytes: float = 30_000.0,
+) -> TopologySpec:
+    """Attach one srTCM edge marker per assured flow to ``topology``.
+
+    For each assured (``gtfrc``/``qtpaf``) flow, in flow order, the
+    first still-unmarked link whose ``src`` matches the flow's source
+    gets a ``MarkerSpec(SlaSpec(flow_id, target_bps, burst_bytes))`` —
+    the domain-edge conditioning every AF scenario applies by hand
+    today.  Raises ``ValueError`` when a flow has no free access link
+    (two assured flows sharing a single-homed source).  Links keep
+    their spec order, so the rewrite never perturbs build order.
+    """
+    links = list(topology.links)
+    for flow in flows:
+        if flow.transport not in ASSURED_TRANSPORTS:
+            continue
+        for idx, link in enumerate(links):
+            if link.src == flow.src and link.marker is None:
+                links[idx] = replace(
+                    link,
+                    marker=MarkerSpec(
+                        sla=SlaSpec(
+                            flow.flow_id,
+                            flow.target_bps,
+                            burst_bytes=burst_bytes,
+                        )
+                    ),
+                )
+                break
+        else:
+            raise ValueError(
+                f"no unmarked access link out of {flow.src!r} for assured "
+                f"flow {flow.flow_id!r}"
+            )
+    return TopologySpec(links=tuple(links), nodes=topology.nodes)

@@ -1,0 +1,117 @@
+"""Deterministic samplers behind the population specs.
+
+Pure functions of ``(spec, random.Random)``: every draw comes from the
+``rng`` argument and nothing else, so a caller that hands in a
+seed-derived stream (the
+:func:`~repro.traffic.population.expand_population` discipline) gets
+bit-identical samples for the same seed.  Draw *order* is part of the
+contract — the determinism tests pin it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.traffic.specs import ArrivalSpec, SizeSpec
+
+
+def sample_arrivals(
+    spec: ArrivalSpec, rng: random.Random, horizon: float, n_max: int
+) -> List[float]:
+    """Arrival times in ``(0, horizon)``, at most ``n_max``, ascending."""
+    if spec.kind == "poisson":
+        return _poisson(rng, spec.rate_per_s, horizon, n_max)
+    if spec.kind == "onoff":
+        return _onoff(
+            rng, spec.rate_per_s, spec.mean_on, spec.mean_off, horizon, n_max
+        )
+    return _flash_crowd(
+        rng,
+        spec.base_rate_per_s,
+        spec.peak_rate_per_s,
+        spec.ramp_start,
+        spec.ramp_duration,
+        horizon,
+        n_max,
+    )
+
+
+def _poisson(
+    rng: random.Random, rate: float, horizon: float, n_max: int
+) -> List[float]:
+    out: List[float] = []
+    t = 0.0
+    while len(out) < n_max:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        out.append(t)
+    return out
+
+
+def _onoff(
+    rng: random.Random,
+    rate: float,
+    mean_on: float,
+    mean_off: float,
+    horizon: float,
+    n_max: int,
+) -> List[float]:
+    out: List[float] = []
+    t = 0.0
+    while t < horizon and len(out) < n_max:
+        on_end = t + rng.expovariate(1.0 / mean_on)
+        while len(out) < n_max:
+            t += rng.expovariate(rate)
+            if t >= on_end or t >= horizon:
+                break
+            out.append(t)
+        # the overshooting inter-arrival gap is discarded: the next
+        # burst restarts the Poisson process after the OFF gap
+        t = min(on_end, horizon) + rng.expovariate(1.0 / mean_off)
+    return out
+
+
+def _flash_crowd(
+    rng: random.Random,
+    base: float,
+    peak: float,
+    ramp_start: float,
+    ramp_duration: float,
+    horizon: float,
+    n_max: int,
+) -> List[float]:
+    """Non-homogeneous Poisson via thinning at the peak rate."""
+    out: List[float] = []
+    t = 0.0
+    while len(out) < n_max:
+        t += rng.expovariate(peak)
+        if t >= horizon:
+            break
+        if ramp_start <= 0 and ramp_duration <= 0:  # pragma: no cover
+            rate = peak
+        elif t < ramp_start:
+            rate = base
+        else:
+            rate = base + (peak - base) * min(
+                1.0, (t - ramp_start) / ramp_duration
+            )
+        if rng.random() < rate / peak:
+            out.append(t)
+    return out
+
+
+def sample_size(spec: SizeSpec, rng: random.Random) -> int:
+    """One flow size in bytes (an integer ``>= 1``)."""
+    if spec.kind == "fixed":
+        return spec.size_bytes
+    if spec.kind == "exponential":
+        size = int(rng.expovariate(1.0 / spec.mean_bytes))
+        return max(spec.min_bytes, size)
+    # truncated Pareto: inverse-CDF with the tail clamped to max_bytes.
+    # rng.random() is in [0, 1), so 1 - u is in (0, 1] and u == 0 maps
+    # to the scale min_bytes exactly.
+    u = rng.random()
+    size = spec.min_bytes * (1.0 - u) ** (-1.0 / spec.alpha)
+    return max(spec.min_bytes, min(spec.max_bytes, int(size)))

@@ -22,9 +22,11 @@ import pytest
 
 from repro.harness.bench import (
     TOPO_PROBE_SCENARIOS,
+    TRAFFIC_PROBE_SCENARIOS,
     engine_trace_probe,
     network_trace_probe,
     topo_trace_probe,
+    traffic_trace_probe,
 )
 
 GOLDENS_PATH = (
@@ -77,4 +79,18 @@ def test_topo_scenario_trace_matches_golden(goldens, scenario):
 def test_topo_probe_is_repeatable():
     a = topo_trace_probe("parking_lot", seed=2, duration=2.0)
     b = topo_trace_probe("parking_lot", seed=2, duration=2.0)
+    assert a == b
+
+
+@pytest.mark.parametrize("scenario", TRAFFIC_PROBE_SCENARIOS)
+def test_traffic_scenario_trace_matches_golden(goldens, scenario):
+    # pins the PR 6 generated-population pipeline end to end: arrival
+    # samplers, class mix, endpoint draws, apply_slas and the
+    # byte-budget flow lifecycle (flow/completed counts + exact FCT sum)
+    assert traffic_trace_probe(scenario) == goldens["traffic"][scenario]
+
+
+def test_traffic_probe_is_repeatable():
+    a = traffic_trace_probe("mice_elephants", seed=4, duration=3.0)
+    b = traffic_trace_probe("mice_elephants", seed=4, duration=3.0)
     assert a == b

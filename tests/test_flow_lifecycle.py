@@ -1,0 +1,125 @@
+"""Finite flows: byte budgets, completion times, FCT metrics."""
+
+import pytest
+
+from repro.metrics import FctSummary, FlowCompletion, fct_summary
+from repro.sim.engine import Simulator
+from repro.topo import ScenarioSpec, build
+from repro.topo.generators import access_star_spec
+from repro.topo.specs import FlowSpec
+
+
+def _run_one(transport, size_bytes=200_000, duration=20.0, **flow_kw):
+    sim = Simulator(seed=0)
+    flow_kw.setdefault(
+        "target_bps", 4e6 if transport in ("gtfrc", "qtpaf") else None
+    )
+    built = build(
+        sim,
+        ScenarioSpec(
+            name="budget",
+            topology=access_star_spec(1),
+            flows=(
+                FlowSpec(
+                    "f", "h0", "srv",
+                    transport=transport,
+                    size_bytes=size_bytes,
+                    **flow_kw,
+                ),
+            ),
+        ),
+    )
+    sim.run(until=duration)
+    return sim, built
+
+
+class TestByteBudgetCompletion:
+    @pytest.mark.parametrize("transport", ["tcp", "tfrc", "gtfrc", "qtpaf"])
+    def test_finite_flow_completes_and_departs(self, transport):
+        sim, built = _run_one(transport)
+        (done,) = built.completions()
+        assert done.flow_id == "f"
+        assert 0.0 < done.completed_at < 20.0
+        assert done.size_bytes == 200_000
+        # the flow departed: no data events near the end of the run
+        assert built.senders["f"].completed_at == done.completed_at
+
+    @pytest.mark.parametrize("transport", ["tcp", "qtpaf"])
+    def test_reliable_budget_is_fully_delivered(self, transport):
+        sim, built = _run_one(transport)
+        # completion for reliable transports means acknowledged bytes,
+        # so the receiver saw at least the budget (fresh, not dupes)
+        assert built.recorder("f").delivered_bytes >= 200_000
+
+    def test_unbounded_flow_never_completes(self):
+        sim, built = _run_one("tcp", size_bytes=None, duration=5.0)
+        assert built.completions() == ()
+        assert built.senders["f"].completed_at is None
+
+    def test_stop_beats_a_large_budget(self):
+        # stop fires first: the flow is cut off without a completion
+        sim, built = _run_one(
+            "tcp", size_bytes=10**9, duration=5.0, stop=1.0
+        )
+        assert built.completions() == ()
+
+    def test_budget_beats_a_late_stop(self):
+        sim, built = _run_one(
+            "tcp", size_bytes=100_000, duration=20.0, stop=19.0
+        )
+        (done,) = built.completions()
+        assert done.completed_at < 19.0
+
+    def test_completion_time_is_deterministic(self):
+        a = _run_one("qtpaf")[1].completions()
+        b = _run_one("qtpaf")[1].completions()
+        assert a == b
+
+    def test_completions_follow_spec_flow_order(self):
+        sim = Simulator(seed=0)
+        built = build(
+            sim,
+            ScenarioSpec(
+                name="two",
+                topology=access_star_spec(2),
+                flows=(
+                    FlowSpec("a", "h0", "srv", size_bytes=50_000),
+                    FlowSpec("b", "h1", "srv", size_bytes=50_000, start=0.5),
+                ),
+            ),
+        )
+        sim.run(until=20.0)
+        assert [c.flow_id for c in built.completions()] == ["a", "b"]
+
+
+class TestFlowSpecValidation:
+    @pytest.mark.parametrize("size", [0, -100])
+    def test_nonpositive_size_bytes_rejected(self, size):
+        with pytest.raises(ValueError, match="size_bytes must be positive"):
+            FlowSpec("f", "a", "b", size_bytes=size)
+
+    def test_none_means_unbounded(self):
+        assert FlowSpec("f", "a", "b").size_bytes is None
+
+
+class TestFctMetrics:
+    def test_duration_and_goodput(self):
+        c = FlowCompletion("f", start=1.0, completed_at=3.0, size_bytes=1_000_000)
+        assert c.duration == 2.0
+        assert c.goodput_bps == pytest.approx(4e6)
+
+    def test_summary_percentiles(self):
+        completions = [
+            FlowCompletion(f"f{i}", 0.0, float(i + 1), 1000) for i in range(10)
+        ]
+        summary = fct_summary(completions)
+        assert summary.completed == 10
+        assert summary.mean == pytest.approx(5.5)
+        assert summary.p50 == pytest.approx(5.5)
+        assert summary.max == pytest.approx(10.0)
+        assert summary.p50 <= summary.p95 <= summary.max
+
+    def test_empty_summary_is_all_zero(self):
+        assert fct_summary([]) == FctSummary(
+            completed=0, mean=0.0, p50=0.0, p95=0.0, max=0.0
+        )

@@ -1,0 +1,113 @@
+"""Topology generators: pinned link order, shapes, buildability."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.topo import (
+    ScenarioSpec,
+    access_star_endpoints,
+    access_star_spec,
+    build,
+    fat_tree_endpoints,
+    fat_tree_spec,
+    isp_chain_endpoints,
+    isp_chain_spec,
+)
+from repro.topo.specs import FlowSpec
+
+
+class TestAccessStar:
+    def test_pinned_link_order(self):
+        spec = access_star_spec(3)
+        assert [(l.src, l.dst) for l in spec.links] == [
+            ("gw", "srv"), ("h0", "gw"), ("h1", "gw"), ("h2", "gw"),
+        ]
+
+    def test_bottleneck_is_rio(self):
+        spec = access_star_spec(2, bottleneck_bps=5e6)
+        assert spec.links[0].queue.kind == "rio"
+        assert spec.links[0].rate_bps == 5e6
+        assert all(l.queue.kind == "droptail" for l in spec.links[1:])
+
+    def test_endpoints_match_hosts(self):
+        assert access_star_endpoints(3) == (
+            ("h0", "srv"), ("h1", "srv"), ("h2", "srv"),
+        )
+
+    def test_rejects_empty_star(self):
+        with pytest.raises(ValueError, match="at least one host"):
+            access_star_spec(0)
+
+    def test_generated_spec_is_deterministic(self):
+        assert access_star_spec(5) == access_star_spec(5)
+
+
+class TestIspChain:
+    def test_pinned_link_order(self):
+        spec = isp_chain_spec(2, hosts_per_pop=2)
+        assert [(l.src, l.dst) for l in spec.links] == [
+            ("r0", "r1"), ("r1", "r2"),
+            ("p0h0", "r0"), ("p0h1", "r0"),
+            ("p1h0", "r1"), ("p1h1", "r1"),
+            ("p2h0", "r2"), ("p2h1", "r2"),
+        ]
+
+    def test_backbone_is_rio(self):
+        spec = isp_chain_spec(3)
+        assert all(l.queue.kind == "rio" for l in spec.links[:3])
+
+    def test_endpoints_per_hop_then_long_haul(self):
+        assert isp_chain_endpoints(2, hosts_per_pop=1) == (
+            ("p0h0", "p1h0"), ("p1h0", "p2h0"), ("p0h0", "p2h0"),
+        )
+
+    def test_single_hop_has_no_long_haul_pairs(self):
+        assert isp_chain_endpoints(1) == (("p0h0", "p1h0"),)
+
+
+class TestFatTree:
+    def test_pinned_link_order(self):
+        spec = fat_tree_spec(2, hosts_per_pod=2)
+        assert [(l.src, l.dst) for l in spec.links] == [
+            ("core", "agg0"), ("core", "agg1"),
+            ("p0h0", "agg0"), ("p0h1", "agg0"),
+            ("p1h0", "agg1"), ("p1h1", "agg1"),
+        ]
+
+    def test_core_links_are_rio(self):
+        spec = fat_tree_spec(3, hosts_per_pod=1)
+        assert all(l.queue.kind == "rio" for l in spec.links[:3])
+
+    def test_endpoints_cross_pods(self):
+        assert fat_tree_endpoints(2, hosts_per_pod=1) == (
+            ("p0h0", "p1h0"), ("p1h0", "p0h0"),
+        )
+
+    def test_rejects_single_pod(self):
+        with pytest.raises(ValueError, match="at least two pods"):
+            fat_tree_spec(1)
+
+
+class TestGeneratedTopologiesBuild:
+    @pytest.mark.parametrize(
+        "topology,flow",
+        [
+            (access_star_spec(3), ("h1", "srv")),
+            (isp_chain_spec(2, hosts_per_pop=1), ("p0h0", "p2h0")),
+            (fat_tree_spec(2, hosts_per_pod=1), ("p0h0", "p1h0")),
+        ],
+        ids=["access_star", "isp_chain", "fat_tree"],
+    )
+    def test_flow_delivers_across_generated_shape(self, topology, flow):
+        sim = Simulator(seed=0)
+        src, dst = flow
+        built = build(
+            sim,
+            ScenarioSpec(
+                name="gen",
+                topology=topology,
+                flows=(FlowSpec("f", src, dst, transport="tcp"),),
+            ),
+        )
+        sim.run(until=2.0)
+        assert built.recorder("f").delivered_bytes > 0

@@ -1,0 +1,211 @@
+"""Expander determinism, stream independence, SLA wiring, API integration."""
+
+import pytest
+
+from repro.api import Experiment
+from repro.topo import TopologySpec
+from repro.topo.generators import access_star_endpoints, access_star_spec
+from repro.traffic import (
+    ArrivalSpec,
+    FlowClassSpec,
+    PopulationSpec,
+    SizeSpec,
+    apply_slas,
+    expand_population,
+)
+
+POISSON = ArrivalSpec(kind="poisson", rate_per_s=10.0)
+PARETO = SizeSpec(kind="pareto", alpha=1.3, min_bytes=4000, max_bytes=120_000)
+MICE = FlowClassSpec("mice", 0.9, "tcp", PARETO)
+ELEPHANT = FlowClassSpec(
+    "elephant", 0.1, "gtfrc",
+    SizeSpec(kind="fixed", size_bytes=1_500_000), target_bps=2e6,
+)
+
+
+def _population(**kw):
+    defaults = dict(
+        name="mix",
+        arrival=POISSON,
+        classes=(MICE, ELEPHANT),
+        endpoints=access_star_endpoints(16),
+        n_flows=40,
+        horizon=10.0,
+    )
+    defaults.update(kw)
+    return PopulationSpec(**defaults)
+
+
+class TestExpanderDeterminism:
+    def test_same_seed_identical_tuple(self):
+        spec = _population()
+        assert expand_population(spec, 3) == expand_population(spec, 3)
+
+    def test_different_seed_differs(self):
+        spec = _population()
+        assert expand_population(spec, 0) != expand_population(spec, 1)
+
+    def test_flow_ids_unique_and_class_prefixed(self):
+        flows = expand_population(_population(), 0)
+        ids = [f.flow_id for f in flows]
+        assert len(set(ids)) == len(ids)
+        assert all(
+            fid.startswith("mice") or fid.startswith("elephant") for fid in ids
+        )
+
+    def test_arrival_order_and_finite_budgets(self):
+        flows = expand_population(_population(), 0)
+        starts = [f.start for f in flows]
+        assert starts == sorted(starts)
+        assert all(f.size_bytes is not None and f.size_bytes > 0 for f in flows)
+
+    def test_streams_are_independent(self):
+        # changing the size distribution must not perturb arrival times
+        # or class/endpoint draws — each axis has its own named stream
+        small = _population()
+        mice_big = FlowClassSpec(
+            "mice", 0.9, "tcp", SizeSpec(kind="fixed", size_bytes=999)
+        )
+        resized = _population(classes=(mice_big, ELEPHANT))
+        a = expand_population(small, 5)
+        b = expand_population(resized, 5)
+        assert [f.start for f in a] == [f.start for f in b]
+        assert [f.flow_id for f in a] == [f.flow_id for f in b]
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
+
+    def test_rng_stream_namespaces_the_draws(self):
+        spec_a = _population()
+        spec_b = _population(rng_stream="other")
+        assert expand_population(spec_a, 0) != expand_population(spec_b, 0)
+
+    def test_start_offsets_every_arrival(self):
+        base = expand_population(_population(), 2)
+        shifted = expand_population(_population(start=5.0), 2)
+        assert [f.start + 5.0 for f in base] == pytest.approx(
+            [f.start for f in shifted]
+        )
+
+
+class TestAssuredEndpoints:
+    def test_assured_sources_are_distinct(self):
+        flows = expand_population(_population(), 0)
+        assured_srcs = [f.src for f in flows if f.transport == "gtfrc"]
+        assert len(set(assured_srcs)) == len(assured_srcs)
+
+    def test_pool_exhaustion_raises(self):
+        all_assured = FlowClassSpec(
+            "e", 1.0, "gtfrc",
+            SizeSpec(kind="fixed", size_bytes=1000), target_bps=1e6,
+        )
+        spec = _population(
+            classes=(all_assured,),
+            endpoints=access_star_endpoints(3),
+            n_flows=10,
+            arrival=ArrivalSpec(kind="poisson", rate_per_s=100.0),
+        )
+        with pytest.raises(ValueError, match="ran out of endpoint pairs"):
+            expand_population(spec, 0)
+
+
+class TestApplySlas:
+    def test_one_marker_per_assured_flow(self):
+        topology = access_star_spec(16)
+        flows = expand_population(_population(), 0)
+        marked = apply_slas(topology, flows)
+        assured = [f for f in flows if f.transport == "gtfrc"]
+        slas = [
+            link.marker.sla
+            for link in marked.links
+            if link.marker is not None and link.marker.sla is not None
+        ]
+        assert sorted(s.flow_id for s in slas) == sorted(
+            f.flow_id for f in assured
+        )
+        assert all(s.committed_rate_bps == 2e6 for s in slas)
+
+    def test_marker_lands_on_the_flows_access_link(self):
+        topology = access_star_spec(16)
+        flows = expand_population(_population(), 0)
+        marked = apply_slas(topology, flows)
+        by_src = {link.src: link for link in marked.links}
+        for flow in flows:
+            if flow.transport != "gtfrc":
+                continue
+            marker = by_src[flow.src].marker
+            assert marker is not None and marker.sla.flow_id == flow.flow_id
+
+    def test_link_order_is_preserved(self):
+        topology = access_star_spec(16)
+        flows = expand_population(_population(), 0)
+        marked = apply_slas(topology, flows)
+        assert [(l.src, l.dst) for l in marked.links] == [
+            (l.src, l.dst) for l in topology.links
+        ]
+
+    def test_best_effort_population_is_a_noop(self):
+        topology = access_star_spec(8)
+        flows = expand_population(
+            _population(classes=(MICE,), endpoints=access_star_endpoints(8)), 1
+        )
+        assert apply_slas(topology, flows) == topology
+
+    def test_single_homed_collision_raises(self):
+        # two assured flows sharing one source: only one access link
+        topology = TopologySpec(links=access_star_spec(2).links)
+        from repro.topo.specs import FlowSpec
+
+        flows = (
+            FlowSpec("e0", "h0", "srv", transport="gtfrc", target_bps=1e6),
+            FlowSpec("e1", "h0", "srv", transport="gtfrc", target_bps=1e6),
+        )
+        with pytest.raises(ValueError, match="no unmarked access link"):
+            apply_slas(topology, flows)
+
+
+class TestExperimentIntegration:
+    def test_population_params_sweep_through_api(self):
+        results = (
+            Experiment("mice_elephants")
+            .sweep(elephant_share=(0.05, 0.1))
+            .configure(
+                protocol="gtfrc",
+                n_hosts=10,
+                n_flows=12,
+                arrival_rate_per_s=5.0,
+                duration=4.0,
+            )
+            .seeds(0)
+            .cache(None)
+            .run()
+        )
+        assert len(results.results) == 2
+        for result in results.results:
+            metrics = result.metrics()
+            assert metrics["n_mice"] + metrics["n_elephants"] == 12
+            assert metrics["mice_completed"] >= 0
+
+    @pytest.mark.slow
+    def test_thousand_flow_population_completes(self):
+        # pin the axes: without .sweep() the registered default grid
+        # would kick in (elephant_share up to 0.1 — ~100 elephants,
+        # more than the 64-pair endpoint pool holds)
+        results = (
+            Experiment("mice_elephants")
+            .sweep(protocol=("gtfrc",), elephant_share=(0.02,))
+            .configure(
+                n_hosts=64,
+                n_flows=1000,
+                arrival_rate_per_s=250.0,
+                # wide enough that the storm is churn, not starvation
+                # (~60 Mbit/s offered at the arrival peak)
+                bottleneck_bps=100e6,
+                duration=6.0,
+            )
+            .seeds(1)
+            .cache(None)
+            .run()
+        )
+        (result,) = results.results
+        metrics = result.metrics()
+        assert metrics["n_mice"] + metrics["n_elephants"] == 1000
+        assert metrics["mice_completed"] > 500
