@@ -13,7 +13,11 @@ formatter:
   ``.aggregate()`` over seeds, ``.table()/.to_rows()/.to_csv()/
   .to_json()`` presentation;
 * :class:`ScenarioResult` — the contract scenario return values
-  declare their metrics through (see :mod:`repro.harness.result`).
+  declare their metrics through (see :mod:`repro.harness.result`);
+* :class:`RunFailure` — the structured terminal failure a cell carries
+  when a sweep runs with ``on_failure="keep"``/``"retry"`` (PR 7):
+  ``rs.failures()`` / ``rs.ok()`` / ``rs.coverage()`` surface partial
+  results instead of aborting the whole sweep.
 
 Quickstart::
 
@@ -36,12 +40,18 @@ benchmark table suites are built on the same two classes.
 
 from repro.api.experiment import Experiment
 from repro.api.resultset import ResultSet
-from repro.harness.result import MappingResult, ScenarioResult, coerce_result
+from repro.harness.result import (
+    MappingResult,
+    RunFailure,
+    ScenarioResult,
+    coerce_result,
+)
 
 __all__ = [
     "Experiment",
     "MappingResult",
     "ResultSet",
+    "RunFailure",
     "ScenarioResult",
     "coerce_result",
 ]

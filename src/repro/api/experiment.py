@@ -76,6 +76,8 @@ class Experiment:
         self._seeds: Optional[List[int]] = None
         self._workers: Optional[int] = 1
         self._cache_dir: Optional[Path] = None
+        self._max_retries: Optional[int] = None
+        self._run_timeout: Optional[float] = None
 
     @classmethod
     def from_spec(cls, spec: ScenarioSpec) -> "Experiment":
@@ -147,11 +149,33 @@ class Experiment:
         self._cache_dir = None if directory is None else Path(directory)
         return self
 
+    def retries(self, n: int) -> "Experiment":
+        """Retry each failed run up to ``n`` extra times (backoff+jitter)."""
+        if n < 0:
+            raise ValueError(f"retries must be >= 0, got {n}")
+        self._max_retries = int(n)
+        return self
+
+    def timeout(self, seconds: Optional[float]) -> "Experiment":
+        """Per-run wall-clock deadline (``None`` disables the deadline).
+
+        Setting a deadline forces pool execution even for one worker —
+        an in-process run cannot preempt itself.
+        """
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {seconds}")
+        self._run_timeout = None if seconds is None else float(seconds)
+        return self
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(
-        self, progress: Optional[Callable[[RunRecord], None]] = None
+        self,
+        progress: Optional[Callable[[RunRecord], None]] = None,
+        *,
+        on_failure: str = "raise",
+        resume: bool = False,
     ) -> ResultSet:
         """Execute the sweep and return its :class:`ResultSet`.
 
@@ -160,7 +184,33 @@ class Experiment:
         come back in deterministic grid order, completed runs are
         memoized in the configured cache, and multi-worker runs reuse
         the process-global warm pool.
+
+        ``on_failure`` selects the failure semantics:
+
+        ``"raise"`` (default)
+            the first terminal failure raises (the seed behaviour) —
+            the original exception where it survives pickling,
+            :class:`~repro.harness.runner.SweepRunError` otherwise;
+        ``"keep"``
+            failed cells become part of the :class:`ResultSet`
+            (``results.failures()`` / ``results.ok()``) and the sweep
+            always completes;
+        ``"retry"``
+            like ``"keep"``, but with retries defaulting to 2 when
+            :meth:`retries` was not called.
+
+        ``resume=True`` re-opens this sweep's journaled manifest and
+        re-runs only missing/failed cells (requires a configured
+        :meth:`cache`).
         """
+        if on_failure not in ("raise", "keep", "retry"):
+            raise ValueError(
+                f"on_failure must be 'raise', 'keep' or 'retry', "
+                f"got {on_failure!r}"
+            )
+        max_retries = self._max_retries or 0
+        if on_failure == "retry" and self._max_retries is None:
+            max_retries = 2
         records = run_matrix(
             self._spec.name,
             self._grid or None,
@@ -169,6 +219,10 @@ class Experiment:
             workers=self._workers,
             cache_dir=self._cache_dir,
             progress=progress,
+            max_retries=max_retries,
+            run_timeout=self._run_timeout,
+            strict=(on_failure == "raise"),
+            resume=resume,
         )
         return ResultSet(records)
 

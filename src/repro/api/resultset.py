@@ -18,6 +18,16 @@ Results are adapted through the
 :class:`~repro.harness.result.ScenarioResult` contract; legacy raw
 dict results are wrapped (with a one-time deprecation warning) so the
 container never exposes free-form payloads.
+
+Partial results (PR 7): a sweep run with ``on_failure="keep"`` may
+contain terminally failed cells — records whose result is a
+:class:`~repro.harness.result.RunFailure`.  The container surfaces
+them instead of hiding them: :meth:`ok` / :meth:`failures` split the
+set, :meth:`coverage` reports the completed fraction, tables and CSV
+grow a ``status`` column *only when failures are present* (a fully
+successful sweep renders byte-identically to before), metric columns
+come from successful runs only, and :meth:`aggregate` skips failed
+cells while counting them per group in a ``failed`` column.
 """
 
 from __future__ import annotations
@@ -39,7 +49,12 @@ from typing import (
     Union,
 )
 
-from repro.harness.result import MappingResult, ScenarioResult, coerce_result
+from repro.harness.result import (
+    MappingResult,
+    RunFailure,
+    ScenarioResult,
+    coerce_result,
+)
 from repro.harness.runner import RunRecord
 from repro.harness.tables import format_table
 from repro.metrics.stats import mean as _mean
@@ -117,7 +132,11 @@ class ResultSet:
 
     def __repr__(self) -> str:
         names = sorted({r.scenario for r in self._records})
-        return f"ResultSet({len(self._records)} runs, scenario={names})"
+        n_failed = sum(1 for r in self._records if self._is_failure(r))
+        failed = f", {n_failed} failed" if n_failed else ""
+        return (
+            f"ResultSet({len(self._records)} runs{failed}, scenario={names})"
+        )
 
     @property
     def records(self) -> List[RunRecord]:
@@ -146,6 +165,44 @@ class ResultSet:
             self._metric_cache[key] = metrics
         return metrics
 
+    @staticmethod
+    def _is_failure(record: RunRecord) -> bool:
+        return isinstance(record.result, RunFailure)
+
+    # ------------------------------------------------------------------
+    # partial results
+    # ------------------------------------------------------------------
+    def ok(self) -> "ResultSet":
+        """The successfully completed runs (grid order preserved)."""
+        return ResultSet(
+            [r for r in self._records if not self._is_failure(r)],
+            _parent=self,
+        )
+
+    def failures(self) -> "ResultSet":
+        """The terminally failed cells (records carrying a RunFailure).
+
+        The failure's own metrics (``failure_kind``, ``error``,
+        ``attempts``, ...) are queryable on the returned set, so
+        ``results.failures().filter(failure_kind="timeout")`` works.
+        """
+        return ResultSet(
+            [r for r in self._records if self._is_failure(r)],
+            _parent=self,
+        )
+
+    @property
+    def has_failures(self) -> bool:
+        """True when any cell in this set failed terminally."""
+        return any(self._is_failure(r) for r in self._records)
+
+    def coverage(self) -> float:
+        """Completed fraction of the set, in [0, 1] (1.0 when empty)."""
+        if not self._records:
+            return 1.0
+        n_ok = sum(1 for r in self._records if not self._is_failure(r))
+        return n_ok / len(self._records)
+
     # ------------------------------------------------------------------
     # schema
     # ------------------------------------------------------------------
@@ -164,11 +221,18 @@ class ResultSet:
         """Union of metric names, in first-appearance order.
 
         Metrics shadowed by an identically-named parameter are dropped
-        (the parameter column already carries the value).
+        (the parameter column already carries the value).  Failed cells
+        contribute no names: their :class:`RunFailure` fields describe
+        the failure, not the scenario, and belong to
+        ``failures().metric_names`` (where every record is a failure,
+        they *are* the schema).
         """
         params = set(self.param_names)
+        records = [r for r in self._records if not self._is_failure(r)]
+        if not records:  # a pure-failure set: the failure IS the schema
+            records = self._records
         names: List[str] = []
-        for record in self._records:
+        for record in records:
             for key in self._metrics_of(record):
                 if key not in names and key not in params:
                     names.append(key)
@@ -288,8 +352,16 @@ class ResultSet:
         percentiles.  The result is a new :class:`ResultSet` whose
         records carry the group parameters, a ``runs`` count and
         ``<metric>_<stat>`` summary metrics.
+
+        Terminally failed cells are *skipped*: statistics fold only
+        the successful runs of each group, ``runs`` counts those, and
+        — only when the set carries failures at all — each summary row
+        gains a ``failed`` count so reduced coverage is visible rather
+        than silently averaged over.  A group with no successful run
+        keeps its row (``runs`` 0, all statistics ``None``).
         """
         stat_fns = [(s, _stat_fn(s)) for s in stats]
+        report_failed = self.has_failures
         groups: Dict[Tuple[Any, ...], List[RunRecord]] = {}
         group_params: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
         for record in self._records:
@@ -299,17 +371,20 @@ class ResultSet:
             group_params.setdefault(key, kept)
         aggregated: List[RunRecord] = []
         for key, records in groups.items():
-            rows = [self._metrics_of(r) for r in records]
+            ok_records = [r for r in records if not self._is_failure(r)]
+            rows = [self._metrics_of(r) for r in ok_records]
             names = list(metrics) or [
                 name
-                for name in ResultSet(records, _parent=self).metric_names
+                for name in ResultSet(ok_records, _parent=self).metric_names
                 if all(
                     isinstance(row.get(name), (int, float))
                     and not isinstance(row.get(name), bool)
                     for row in rows
                 )
             ]
-            summary: Dict[str, Any] = {"runs": len(records)}
+            summary: Dict[str, Any] = {"runs": len(ok_records)}
+            if report_failed:
+                summary["failed"] = len(records) - len(ok_records)
             for name in names:
                 values = []
                 for row in rows:
@@ -321,7 +396,9 @@ class ResultSet:
                         )
                     values.append(row[name])
                 for stat, fn in stat_fns:
-                    summary[f"{name}_{stat}"] = fn(values)
+                    summary[f"{name}_{stat}"] = (
+                        fn(values) if values else None
+                    )
             aggregated.append(
                 RunRecord(
                     scenario=records[0].scenario,
@@ -335,17 +412,34 @@ class ResultSet:
     # exports
     # ------------------------------------------------------------------
     def to_rows(self) -> Tuple[List[str], List[List[Any]]]:
-        """``(headers, rows)`` — parameter columns then metric columns."""
+        """``(headers, rows)`` — parameter columns then metric columns.
+
+        When the set carries failures, a ``status`` column is inserted
+        between the parameters and the metrics (``ok`` or
+        ``failed:<kind>``), and a failed cell's metric columns are
+        blank.  A fully successful set renders exactly as before —
+        no extra column.
+        """
         param_cols = self.param_names
         metric_cols = self.metric_names
+        with_status = self.has_failures
         rows = []
         for record in self._records:
+            row = [record.params.get(c, "") for c in param_cols]
+            if with_status:
+                row.append(
+                    f"failed:{record.result.failure_kind}"
+                    if self._is_failure(record) else "ok"
+                )
+            # in a mixed set the metric columns are scenario metrics, so
+            # a failed cell's row is naturally blank; in a pure-failure
+            # set (failures().table()) the columns ARE the failure
+            # fields and fill in
             metrics = self._metrics_of(record)
-            rows.append(
-                [record.params.get(c, "") for c in param_cols]
-                + [metrics.get(c, "") for c in metric_cols]
-            )
-        return param_cols + metric_cols, rows
+            row.extend(metrics.get(c, "") for c in metric_cols)
+            rows.append(row)
+        headers = param_cols + (["status"] if with_status else []) + metric_cols
+        return headers, rows
 
     def table(self, title: str = "") -> str:
         """A fixed-width text table of every run (params + metrics)."""
@@ -372,15 +466,29 @@ class ResultSet:
         form reports each run's metrics in full: params and metrics
         are separate objects, so the duplication is explicit rather
         than a colliding column.
+
+        A terminally failed cell exports a ``failure`` object (kind,
+        error, message, attempts, elapsed) instead of ``metrics``;
+        fully successful sets export byte-identically to before.
         """
-        payload = [
-            {
+        payload: List[Dict[str, Any]] = []
+        for record in self._records:
+            entry: Dict[str, Any] = {
                 "scenario": record.scenario,
                 "params": dict(record.params),
-                "metrics": self._metrics_of(record),
             }
-            for record in self._records
-        ]
+            if self._is_failure(record):
+                failure = record.result
+                entry["failure"] = {
+                    "kind": failure.failure_kind,
+                    "error": failure.error,
+                    "message": failure.message,
+                    "attempts": failure.attempts,
+                    "elapsed": failure.elapsed,
+                }
+            else:
+                entry["metrics"] = self._metrics_of(record)
+            payload.append(entry)
         text = json.dumps(payload, indent=2, default=repr)
         if path is not None:
             Path(path).write_text(text)

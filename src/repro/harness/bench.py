@@ -226,6 +226,36 @@ def _bench_sweep_warm(n_runs: int = 4) -> float:
     return float(len(records))
 
 
+def _bench_sweep_fault_overhead(n_runs: int = 4) -> float:
+    """Fault-plumbing micro: the warm sweep with retries+timeout armed.
+
+    Identical workload to ``sweep_warm``, but with the full PR 7
+    fault-tolerance plumbing engaged on the fault-free path:
+    ``strict=False``, ``max_retries=2`` and a generous ``run_timeout``
+    (so every dispatch carries an attempt number and a deadline, every
+    response passes validation, and the deadline reaper runs).  No
+    fault ever fires, so the rate difference against ``sweep_warm`` is
+    pure fabric overhead — the slow-tier guard test pins it under 5%.
+    """
+    from repro.harness.runner import run_matrix
+
+    records = run_matrix(
+        "af_assurance",
+        {"protocol": ("qtpaf",)},
+        base=dict(
+            target_bps=4e6, n_cross=1, duration=0.5, warmup=0.1,
+            bottleneck_bps=4e6,
+        ),
+        seeds=range(n_runs),
+        workers=2,
+        cache_dir=None,
+        strict=False,
+        max_retries=2,
+        run_timeout=300.0,
+    )
+    return float(len(records))
+
+
 def _bench_rio_queue(n_packets: int = 120_000) -> float:
     """Queue micro: packets/s through a RIO queue (enqueue+dequeue)."""
     import random
@@ -329,6 +359,7 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("loss_estimator", _bench_loss_estimator, "packets/s"),
     BenchSpec("t1_scenario", _bench_t1_scenario, "runs/s"),
     BenchSpec("sweep_warm", _bench_sweep_warm, "runs/s"),
+    BenchSpec("sweep_fault_overhead", _bench_sweep_fault_overhead, "runs/s"),
     BenchSpec("population_1000", _bench_population_1000, "runs/s", repeats=1),
 ]
 

@@ -23,6 +23,16 @@ the result's declared metrics, plus a run-count summary), or the
 machine-readable ``csv`` / ``json`` exports (data only, no summary
 line, so output pipes cleanly).
 
+``run`` is fault-tolerant by default (PR 7): a crashed, hung or
+erroring run is retried up to ``--max-retries`` times (with
+``--run-timeout`` reaping hung runs), a cell that exhausts its
+retries becomes a terminal failure *kept in the output* (a ``status``
+column appears, aggregates skip the cell), and a failure summary
+footer goes to stderr with exit status 1 — stdout stays pipeable
+data either way.  ``--resume`` re-runs only the missing/failed cells
+of an interrupted sweep (journaled manifest next to the memo cache);
+``--strict`` restores abort-on-first-error.
+
 ``bench`` runs the pinned perf suite (:mod:`repro.harness.bench`) and
 writes ``BENCH_core.json`` (preserving the frozen pre-optimization
 baseline section).  ``bench --check`` instead compares a fresh run
@@ -112,6 +122,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute every run; do not read or write the cache",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each crashed/timed-out/failed run up to N extra "
+        "times with exponential backoff before recording it as a "
+        "terminal failure (default 0: no retries)",
+    )
+    run.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock deadline; a run past it has its worker "
+        "killed and counts as a failed attempt (forces pool execution "
+        "even with --workers 1)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume this sweep from its journaled manifest: re-run "
+        "only missing/failed cells (requires caching; the grid and "
+        "code must be unchanged)",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first terminal failure instead of keeping "
+        "partial results (the pre-PR-7 behaviour)",
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
@@ -205,6 +246,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         experiment = Experiment(spec).workers(args.workers or None).cache(
             None if args.no_cache else args.cache_dir
         )
+        experiment.retries(args.max_retries).timeout(args.run_timeout)
+        if args.resume and args.no_cache:
+            raise ValueError(
+                "--resume needs the memo cache; drop --no-cache"
+            )
         if args.sweep:
             experiment.sweep(_parse_grid(spec, args.sweep))
         if args.fixed:
@@ -223,7 +269,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     def progress(record: RunRecord) -> None:
         if not args.quiet:
-            state = "cached" if record.cached else f"{record.elapsed:.2f}s"
+            if not record.ok:
+                state = f"FAILED:{record.result.failure_kind}"
+            elif record.cached:
+                state = "cached"
+            else:
+                state = f"{record.elapsed:.2f}s"
             print(
                 f"  [{state}] {record.scenario} {record.params}",
                 file=progress_stream,
@@ -232,7 +283,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     try:
-        results = experiment.run(progress=progress)
+        results = experiment.run(
+            progress=progress,
+            on_failure="raise" if args.strict else "keep",
+            resume=args.resume,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -248,6 +303,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"\n{len(results)} runs ({fresh} computed, "
             f"{len(results) - fresh} cached) in {wall:.2f}s wall"
         )
+    failures = results.failures()
+    if len(failures):
+        # the failure summary goes to stderr so csv/json stdout stays
+        # pure data even for a partial sweep
+        print(
+            f"\n{len(failures)} of {len(results)} runs failed terminally "
+            f"(coverage {results.coverage():.0%}):",
+            file=sys.stderr,
+        )
+        for record in failures:
+            failure = record.result
+            print(
+                f"  {record.params} -> {failure.failure_kind} "
+                f"({failure.error}: {failure.message}) "
+                f"after {failure.attempts} attempt(s)",
+                file=sys.stderr,
+            )
+        print(
+            "re-run with --resume to retry only the failed cells",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

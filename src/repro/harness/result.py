@@ -35,6 +35,7 @@ from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
 __all__ = [
     "MappingResult",
+    "RunFailure",
     "ScenarioResult",
     "coerce_result",
     "is_scalar",
@@ -158,6 +159,39 @@ class MappingResult(ScenarioResult):
             return self.__dict__["data"][name]
         except KeyError:
             raise AttributeError(name) from None
+
+
+@dataclasses.dataclass
+class RunFailure(ScenarioResult):
+    """The terminal result of a sweep cell that exhausted its retries.
+
+    Stored in :attr:`~repro.harness.runner.RunRecord.result` when
+    ``run_matrix(strict=False)`` gives up on a cell: the record keeps
+    its place in the grid (parameters intact, deterministic order) but
+    carries a structured failure instead of a scenario result.  The
+    scalar fields are the failure's queryable metrics; the traceback is
+    payload (``traceback_lines`` / :attr:`traceback`), so it never
+    floods a table.
+
+    ``failure_kind`` is the fabric's classification — ``error`` (the
+    scenario raised), ``crash`` (the worker died hard), ``timeout``
+    (the run exceeded its wall-clock deadline) or ``invalid`` (the
+    worker's response failed validation, e.g. a corrupted record) —
+    while ``error`` names the underlying exception class when there is
+    one.
+    """
+
+    failure_kind: str  # error | crash | timeout | invalid
+    error: str  # exception class name (or fabric classification)
+    message: str
+    attempts: int
+    elapsed: float  # wall clock across every attempt, seconds
+    traceback_lines: Tuple[str, ...] = ()  # payload, not a metric
+
+    @property
+    def traceback(self) -> str:
+        """The final attempt's formatted traceback ('' when unavailable)."""
+        return "\n".join(self.traceback_lines)
 
 
 #: Scenario names already warned about returning legacy results.

@@ -595,8 +595,12 @@ class TestWarmPool:
         run_matrix("af_assurance", grid, base=base, workers=3)
         assert warm_pool_stats()["created"] == created + 1
 
-    def test_worker_error_discards_the_pool(self):
+    def test_worker_error_keeps_the_pool_warm(self):
+        # PR 7 regression guard: a crashing cell used to discard the
+        # warm pool; now the pool survives a failed section and the
+        # *next* sweep reuses it (repaired, not recreated).
         from repro.harness import runner as runner_mod
+        from repro.harness.runner import warm_pool_stats
 
         runner_mod.shutdown_warm_pool()
         with pytest.raises(ValueError):
@@ -606,20 +610,24 @@ class TestWarmPool:
                 base={**self.SMALL, "target_bps": 1e6},
                 workers=2,
             )
-        assert runner_mod._WARM_POOL is None
+        assert runner_mod._WARM_POOL is not None
+        before = warm_pool_stats()
+        records = run_matrix(
+            "af_assurance",
+            {"protocol": ("tcp", "qtpaf")},
+            base={**self.SMALL, "target_bps": 1e6},
+            workers=2,
+        )
+        after = warm_pool_stats()
+        assert len(records) == 2
+        assert after["created"] == before["created"]  # no new pool
+        assert after["reused"] == before["reused"] + 1
 
     def test_shutdown_is_idempotent(self):
         from repro.harness.runner import shutdown_warm_pool
 
         shutdown_warm_pool()
         shutdown_warm_pool()
-
-    def test_chunksize_heuristic(self):
-        from repro.harness.runner import _chunksize
-
-        assert _chunksize(4, 2) == 1     # small grid: best balancing
-        assert _chunksize(64, 2) == 8    # large grid: batched IPC
-        assert _chunksize(1, 8) == 1
 
     def test_run_record_positional_pickle_roundtrip(self):
         import pickle
