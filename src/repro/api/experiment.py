@@ -26,6 +26,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import (
     Any,
@@ -78,6 +79,8 @@ class Experiment:
         self._cache_dir: Optional[Path] = None
         self._max_retries: Optional[int] = None
         self._run_timeout: Optional[float] = None
+        self._trace: bool = False
+        self._profile: bool = False
 
     @classmethod
     def from_spec(cls, spec: ScenarioSpec) -> "Experiment":
@@ -167,6 +170,36 @@ class Experiment:
         self._run_timeout = None if seconds is None else float(seconds)
         return self
 
+    def trace(self, enabled: bool = True) -> "Experiment":
+        """Record structured span events for every cell of the sweep.
+
+        The events land on ``ResultSet.spans``; with a configured
+        :meth:`cache` they are also journaled as JSONL next to the
+        sweep manifest (``<scenario>.spans.jsonl``).  Off by default —
+        an untraced sweep constructs no events anywhere.
+        """
+        self._trace = bool(enabled)
+        return self
+
+    def profile(self, enabled: bool = True) -> "Experiment":
+        """Wrap each fresh cell in cProfile (``REPRO_PROFILE=1`` twin).
+
+        The compact per-cell stats ride ``RunRecord.profile``;
+        aggregate them with :func:`repro.obs.merge_profiles` /
+        :func:`repro.obs.hotspot_table`.
+        """
+        self._profile = bool(enabled)
+        return self
+
+    def n_cells(self) -> int:
+        """The number of cells this definition expands to."""
+        from repro.harness.runner import expand_grid
+
+        n = len(expand_grid(self.grid))
+        if self._seeds is not None:
+            n *= len(self._seeds)
+        return n
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -176,6 +209,7 @@ class Experiment:
         *,
         on_failure: str = "raise",
         resume: bool = False,
+        observer: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> ResultSet:
         """Execute the sweep and return its :class:`ResultSet`.
 
@@ -202,6 +236,11 @@ class Experiment:
         ``resume=True`` re-opens this sweep's journaled manifest and
         re-runs only missing/failed cells (requires a configured
         :meth:`cache`).
+
+        ``observer``, when given, receives every span event of the
+        sweep (see :mod:`repro.obs.spans` for the vocabulary) — this is
+        what the CLI ``--progress`` renderer hooks; it composes with
+        :meth:`trace`, which additionally journals the events.
         """
         if on_failure not in ("raise", "keep", "retry"):
             raise ValueError(
@@ -211,20 +250,73 @@ class Experiment:
         max_retries = self._max_retries or 0
         if on_failure == "retry" and self._max_retries is None:
             max_retries = 2
-        records = run_matrix(
-            self._spec.name,
-            self._grid or None,
-            base=self._base or None,
-            seeds=self._seeds,
-            workers=self._workers,
-            cache_dir=self._cache_dir,
-            progress=progress,
-            max_retries=max_retries,
-            run_timeout=self._run_timeout,
-            strict=(on_failure == "raise"),
-            resume=resume,
+
+        writer = None
+        run_observer = observer
+        if self._trace:
+            from repro.harness.runner import make_cache, spans_path
+            from repro.obs.spans import SpanWriter
+
+            cache = make_cache(self._cache_dir)
+            path = (
+                str(spans_path(cache, self._spec.name))
+                if cache is not None else None
+            )
+            writer = SpanWriter(path, header={
+                "scenario": self._spec.name,
+                "cells": self.n_cells(),
+                "started": time.time(),
+            })
+            if observer is None:
+                run_observer = writer
+            else:
+                observer(writer.events[0])  # replay the sweep header
+
+                def run_observer(event, _w=writer, _o=observer):
+                    _w(event)
+                    _o(event)
+
+        try:
+            records = run_matrix(
+                self._spec.name,
+                self._grid or None,
+                base=self._base or None,
+                seeds=self._seeds,
+                workers=self._workers,
+                cache_dir=self._cache_dir,
+                progress=progress,
+                max_retries=max_retries,
+                run_timeout=self._run_timeout,
+                strict=(on_failure == "raise"),
+                resume=resume,
+                observer=run_observer,
+                profile=self._profile,
+            )
+        finally:
+            if writer is not None:
+                writer.close()
+
+        declared = None
+        if self._spec.result_type is not None:
+            metric_names = getattr(self._spec.result_type, "metric_names", None)
+            if callable(metric_names):
+                declared = list(metric_names())
+
+        obs_snapshot = None
+        from repro.obs.metrics import metrics_enabled
+
+        if metrics_enabled():
+            from repro.obs.metrics import harvest_sweep, registry
+
+            harvest_sweep(records)
+            obs_snapshot = registry().to_json()
+
+        return ResultSet(
+            records,
+            declared_metrics=declared,
+            spans=writer.events if writer is not None else None,
+            obs_metrics=obs_snapshot,
         )
-        return ResultSet(records)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -103,9 +103,24 @@ class ResultSet:
         self,
         records: Sequence[RunRecord],
         *,
+        declared_metrics: Optional[Sequence[str]] = None,
+        spans: Optional[Sequence[Dict[str, Any]]] = None,
+        obs_metrics: Optional[Dict[str, Any]] = None,
         _parent: Optional["ResultSet"] = None,
     ):
         self._records: List[RunRecord] = list(records)
+        # the scenario's declared metric schema (from its registered
+        # result type), used only when no successful record can supply
+        # one — deliberately NOT inherited by derived slices, whose
+        # records define their own schema (failures().metric_names must
+        # keep exposing the failure fields)
+        self._declared_metrics = (
+            list(declared_metrics) if declared_metrics is not None else None
+        )
+        # observability payloads attached by Experiment.run (root set
+        # only; slices answer through the records they hold)
+        self._spans = list(spans) if spans is not None else None
+        self._obs_metrics = obs_metrics
         # per-record coercion/metrics caches: query helpers visit every
         # record per call, and computed @property metrics should be
         # evaluated once per record, not once per table cell.  Derived
@@ -204,6 +219,24 @@ class ResultSet:
         return n_ok / len(self._records)
 
     # ------------------------------------------------------------------
+    # observability payloads (attached by Experiment.run on the root set)
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> Optional[List[Dict[str, Any]]]:
+        """The sweep's span events when tracing was on, else ``None``."""
+        return list(self._spans) if self._spans is not None else None
+
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """The metrics-registry snapshot harvested for this sweep.
+
+        ``None`` unless the metrics plane was enabled
+        (:func:`repro.obs.enable_metrics` / ``REPRO_METRICS=1``) when
+        the sweep ran; see :meth:`MetricsRegistry.to_json
+        <repro.obs.metrics.MetricsRegistry.to_json>` for the shape.
+        """
+        return self._obs_metrics
+
+    # ------------------------------------------------------------------
     # schema
     # ------------------------------------------------------------------
     @property
@@ -229,6 +262,11 @@ class ResultSet:
         """
         params = set(self.param_names)
         records = [r for r in self._records if not self._is_failure(r)]
+        if not records and self._declared_metrics is not None:
+            # no successful record can supply a schema (all-failed or
+            # empty sweep): fall back to the scenario's declared one so
+            # exports still emit explicit, parseable columns
+            return [n for n in self._declared_metrics if n not in params]
         if not records:  # a pure-failure set: the failure IS the schema
             records = self._records
         names: List[str] = []

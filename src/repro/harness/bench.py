@@ -256,6 +256,44 @@ def _bench_sweep_fault_overhead(n_runs: int = 4) -> float:
     return float(len(records))
 
 
+def _bench_obs_overhead(n_runs: int = 4) -> float:
+    """Observability micro: the warm sweep with the full obs plane armed.
+
+    Identical workload to ``sweep_warm`` run through the
+    :class:`~repro.api.experiment.Experiment` facade with every PR 8
+    hook engaged at once — metrics registry enabled (engine run hook +
+    per-link queue tracking in-process, sweep harvest parent-side),
+    span tracing on (every cell emits queued/dispatched/done events),
+    and a live observer consuming the event stream.  The rate
+    difference against ``sweep_warm`` bounds the *enabled* cost of
+    observability; the slow-tier guard test pins the disabled cost
+    under 2% and this enabled cost under 10%.
+    """
+    from repro.api.experiment import Experiment
+    from repro.obs.metrics import disable_metrics, enable_metrics, reset_metrics
+
+    events: list = []
+    enable_metrics()
+    try:
+        reset_metrics()
+        results = (
+            Experiment("af_assurance")
+            .sweep(protocol=("qtpaf",))
+            .configure(
+                target_bps=4e6, n_cross=1, duration=0.5, warmup=0.1,
+                bottleneck_bps=4e6,
+            )
+            .seeds(range(n_runs))
+            .workers(2)
+            .cache(None)
+            .trace(True)
+            .run(observer=events.append)
+        )
+    finally:
+        disable_metrics()
+    return float(len(results))
+
+
 def _bench_rio_queue(n_packets: int = 120_000) -> float:
     """Queue micro: packets/s through a RIO queue (enqueue+dequeue)."""
     import random
@@ -360,6 +398,7 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("t1_scenario", _bench_t1_scenario, "runs/s"),
     BenchSpec("sweep_warm", _bench_sweep_warm, "runs/s"),
     BenchSpec("sweep_fault_overhead", _bench_sweep_fault_overhead, "runs/s"),
+    BenchSpec("obs_overhead", _bench_obs_overhead, "runs/s"),
     BenchSpec("population_1000", _bench_population_1000, "runs/s", repeats=1),
 ]
 

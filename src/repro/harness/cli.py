@@ -47,6 +47,7 @@ a perf trajectory accumulates (the nightly workflow uploads it).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,6 +58,22 @@ from repro.harness.registry import ScenarioSpec, get_scenario, list_scenarios
 from repro.harness.runner import RunRecord
 from repro.harness.tables import format_table
 
+#: Environment default for ``--workers`` (CLI only; the library default
+#: stays the serial ``workers=1``).
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def _default_workers() -> int:
+    value = os.environ.get(SWEEP_WORKERS_ENV, "").strip()
+    if not value:
+        return 1
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"{SWEEP_WORKERS_ENV} must be an integer, got {value!r}"
+        ) from None
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.harness``."""
@@ -66,6 +83,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "bench":
         return _cmd_bench(args)
     parser.print_help()
@@ -80,67 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list registered scenarios and their grids")
     run = sub.add_parser("run", help="sweep one scenario and print a table")
-    run.add_argument("scenario", help="registered scenario name (see `list`)")
-    run.add_argument(
-        "--sweep",
-        action="append",
-        default=[],
-        metavar="PARAM=V1,V2,...",
-        help="sweep axis; repeatable; replaces the default grid",
-    )
-    run.add_argument(
-        "--set",
-        action="append",
-        default=[],
-        dest="fixed",
-        metavar="PARAM=VALUE",
-        help="fixed parameter override applied to every run; repeatable",
-    )
-    run.add_argument(
-        "--seeds",
-        default=None,
-        metavar="S1,S2,...",
-        help="seeds crossed with every grid point",
-    )
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes (0 = one per CPU; default 1 = serial)",
-    )
-    run.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=Path(".sweep-cache"),
-        help="result memo directory (default: ./.sweep-cache); "
-        "REPRO_CACHE=sqlite:<path> in the environment redirects the "
-        "memo to one shareable sqlite file instead (--no-cache still "
-        "disables everything)",
-    )
-    run.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="recompute every run; do not read or write the cache",
-    )
-    run.add_argument(
-        "--max-retries",
-        type=int,
-        default=0,
-        metavar="N",
-        help="retry each crashed/timed-out/failed run up to N extra "
-        "times with exponential backoff before recording it as a "
-        "terminal failure (default 0: no retries)",
-    )
-    run.add_argument(
-        "--run-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-run wall-clock deadline; a run past it has its worker "
-        "killed and counts as a failed attempt (forces pool execution "
-        "even with --workers 1)",
-    )
+    _add_sweep_arguments(run)
     run.add_argument(
         "--resume",
         action="store_true",
@@ -165,6 +124,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result rendering: fixed-width table (default) or the "
         "ResultSet csv/json export (data only — the summary line is "
         "omitted so output pipes cleanly)",
+    )
+    run.add_argument(
+        "-v", "--verbose",
+        action="store_true",
+        help="print sweep internals to stderr after the run: cache "
+        "hit/miss counts and the warm worker-pool lifecycle counters "
+        "(created/reused/transient/repaired)",
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress on stderr (done/failed/retried, ETA, "
+        "per-worker utilization) — stdout stays pure data",
+    )
+    run.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="record structured span traces for every cell (JSONL next "
+        "to the sweep manifest when caching is on) and print the span "
+        "summary table to stderr",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each fresh run in cProfile (REPRO_PROFILE=1 twin) "
+        "and print the aggregated hotspot table to stderr",
+    )
+    metrics = sub.add_parser(
+        "metrics",
+        help="sweep one scenario with the metrics plane on; export the "
+        "registry",
+        description=(
+            "Run a sweep exactly like `run` but with the process-wide "
+            "metrics registry enabled (REPRO_METRICS=1 equivalent), then "
+            "print the harvested series — engine events, queue "
+            "accept/drop counters per color, sweep cell/retry/failure "
+            "counts, cache and warm-pool statistics — to stdout as JSON "
+            "or Prometheus text exposition format."
+        ),
+    )
+    _add_sweep_arguments(metrics)
+    metrics.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        dest="output_format",
+        help="export format for the registry snapshot (default: json)",
     )
     bench = sub.add_parser(
         "bench",
@@ -224,6 +230,94 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-definition arguments shared by ``run`` and ``metrics``."""
+    parser.add_argument(
+        "scenario", help="registered scenario name (see `list`)"
+    )
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="PARAM=V1,V2,...",
+        help="sweep axis; repeatable; replaces the default grid",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="fixed",
+        metavar="PARAM=VALUE",
+        help="fixed parameter override applied to every run; repeatable",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="seeds crossed with every grid point",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (0 = one per CPU; default 1 = serial, or "
+        "the REPRO_SWEEP_WORKERS environment variable when set)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".sweep-cache"),
+        help="result memo directory (default: ./.sweep-cache); "
+        "REPRO_CACHE=sqlite:<path> in the environment redirects the "
+        "memo to one shareable sqlite file instead (--no-cache still "
+        "disables everything)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every run; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each crashed/timed-out/failed run up to N extra "
+        "times with exponential backoff before recording it as a "
+        "terminal failure (default 0: no retries)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock deadline; a run past it has its worker "
+        "killed and counts as a failed attempt (forces pool execution "
+        "even with --workers 1)",
+    )
+
+
+def _build_experiment(
+    spec: ScenarioSpec, args: argparse.Namespace
+) -> Experiment:
+    """Build the :class:`Experiment` from the shared sweep arguments."""
+    workers = args.workers if args.workers is not None else _default_workers()
+    experiment = Experiment(spec).workers(workers or None).cache(
+        None if args.no_cache else args.cache_dir
+    )
+    experiment.retries(args.max_retries).timeout(args.run_timeout)
+    if args.sweep:
+        experiment.sweep(_parse_grid(spec, args.sweep))
+    if args.fixed:
+        experiment.configure(
+            **dict(_parse_pair(spec, pair) for pair in args.fixed)
+        )
+    if args.seeds:
+        experiment.seeds(int(s) for s in args.seeds.split(",") if s)
+    return experiment
+
+
 def _cmd_list() -> int:
     rows = []
     for spec in list_scenarios():
@@ -243,22 +337,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     try:
-        experiment = Experiment(spec).workers(args.workers or None).cache(
-            None if args.no_cache else args.cache_dir
-        )
-        experiment.retries(args.max_retries).timeout(args.run_timeout)
         if args.resume and args.no_cache:
             raise ValueError(
                 "--resume needs the memo cache; drop --no-cache"
             )
-        if args.sweep:
-            experiment.sweep(_parse_grid(spec, args.sweep))
-        if args.fixed:
-            experiment.configure(
-                **dict(_parse_pair(spec, pair) for pair in args.fixed)
-            )
-        if args.seeds:
-            experiment.seeds(int(s) for s in args.seeds.split(",") if s)
+        experiment = _build_experiment(spec, args)
+        if args.trace_summary:
+            experiment.trace(True)
+        if args.profile:
+            experiment.profile(True)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -281,16 +368,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
+    renderer = None
+    if args.progress:
+        from repro.obs.progress import ProgressRenderer
+
+        renderer = ProgressRenderer(
+            total=experiment.n_cells(), stream=sys.stderr
+        )
+
     started = time.perf_counter()
     try:
         results = experiment.run(
             progress=progress,
             on_failure="raise" if args.strict else "keep",
             resume=args.resume,
+            observer=renderer,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if renderer is not None:
+            renderer.close()
     wall = time.perf_counter() - started
     if args.output_format == "csv":
         print(results.to_csv(), end="")
@@ -303,6 +402,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"\n{len(results)} runs ({fresh} computed, "
             f"{len(results) - fresh} cached) in {wall:.2f}s wall"
         )
+    if args.verbose:
+        from repro.harness.runner import warm_pool_stats
+
+        hits = sum(1 for r in results if r.cached)
+        print(
+            f"cache: {hits} hits, {len(results) - hits} misses",
+            file=sys.stderr,
+        )
+        pool_stats = warm_pool_stats()
+        print(
+            "warm pool: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(pool_stats.items())
+            ),
+            file=sys.stderr,
+        )
+    if args.trace_summary and results.spans is not None:
+        from repro.obs.spans import format_span_summary
+
+        print(format_span_summary(results.spans), file=sys.stderr)
+    if args.profile:
+        from repro.obs.profiling import hotspot_table, merge_profiles
+
+        merged = merge_profiles(r.profile for r in results)
+        print(hotspot_table(merged), file=sys.stderr)
     failures = results.failures()
     if len(failures):
         # the failure summary goes to stderr so csv/json stdout stays
@@ -322,6 +446,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         print(
             "re-run with --resume to retry only the failed cells",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a sweep with the metrics plane on; export the registry."""
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    from repro.obs.metrics import enable_metrics, registry
+
+    # enable BEFORE any simulator is built so engine/link harvesting is
+    # armed for the in-process runs; worker processes publish through
+    # the sweep-level harvest either way
+    enable_metrics()
+    try:
+        experiment = _build_experiment(spec, args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = experiment.run(on_failure="keep")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "prometheus":
+        print(registry().to_prometheus(), end="")
+    else:
+        print(registry().to_json_text())
+    if results.has_failures:
+        failed = results.failures()
+        print(
+            f"{len(failed)} of {len(results)} runs failed terminally "
+            f"(coverage {results.coverage():.0%})",
             file=sys.stderr,
         )
         return 1

@@ -249,6 +249,7 @@ class ResilientPool:
         max_attempts: int = 1,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        observer: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         """Execute ``tasks`` (``(task_id, task)`` pairs) to completion.
 
@@ -261,6 +262,13 @@ class ResilientPool:
         ``on_outcome`` (e.g. strict mode re-raising a run error)
         abandons the section: in-flight workers are killed and
         respawned so the pool stays protocol-clean and warm.
+
+        ``observer``, when given, receives span-trace events for the
+        section's scheduling decisions: ``{"event": "dispatched", "i",
+        "attempt", "worker"}`` after each task is sent to a worker and
+        ``{"event": "retry", "i", "attempt", "kind", "delay"}`` when a
+        failed attempt is re-queued.  Terminal events (done/failed) are
+        the caller's job — it already sees every ``TaskOutcome``.
         """
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -276,6 +284,7 @@ class ResilientPool:
                 max_attempts=max_attempts,
                 backoff_base=backoff_base,
                 backoff_cap=backoff_cap,
+                observer=observer,
             )
 
     def _run_tasks_locked(
@@ -289,6 +298,7 @@ class ResilientPool:
         max_attempts,
         backoff_base,
         backoff_cap,
+        observer=None,
     ) -> None:
         states: Dict[int, _TaskState] = {
             task_id: _TaskState(task=task) for task_id, task in tasks
@@ -304,7 +314,7 @@ class ResilientPool:
             while remaining > 0:
                 now = time.monotonic()
                 self._dispatch_ready(
-                    ready, states, now, make_task, run_timeout
+                    ready, states, now, make_task, run_timeout, observer
                 )
                 busy = [w for w in self._workers if w.busy]
                 if not busy:
@@ -324,7 +334,7 @@ class ResilientPool:
                     remaining -= self._collect(
                         worker, states, ready, tiebreak, now,
                         on_outcome, validate, max_attempts,
-                        backoff_base, backoff_cap,
+                        backoff_base, backoff_cap, observer,
                     )
                 # reap deadline overruns (hung runs)
                 for worker in list(self._workers):
@@ -332,7 +342,7 @@ class ResilientPool:
                         remaining -= self._fail_attempt(
                             worker, states, ready, tiebreak, now,
                             on_outcome, max_attempts,
-                            backoff_base, backoff_cap,
+                            backoff_base, backoff_cap, observer,
                             kind="timeout",
                             error_type="SweepTimeout",
                             message=(
@@ -349,7 +359,8 @@ class ResilientPool:
                 if worker.busy:
                     self._repair(worker)
 
-    def _dispatch_ready(self, ready, states, now, make_task, run_timeout):
+    def _dispatch_ready(self, ready, states, now, make_task, run_timeout,
+                        observer=None):
         while ready and ready[0][0] <= now:
             idle = next((w for w in self._workers if not w.busy), None)
             if idle is None:
@@ -376,6 +387,13 @@ class ResilientPool:
             worker.deadline = (
                 now + run_timeout if run_timeout is not None else float("inf")
             )
+            if observer is not None:
+                observer({
+                    "event": "dispatched",
+                    "i": task_id,
+                    "attempt": state.attempts,
+                    "worker": worker.proc.pid,
+                })
 
     @staticmethod
     def _wait_timeout(ready, busy, now) -> Optional[float]:
@@ -390,6 +408,7 @@ class ResilientPool:
     def _collect(
         self, worker, states, ready, tiebreak, now,
         on_outcome, validate, max_attempts, backoff_base, backoff_cap,
+        observer=None,
     ) -> int:
         """Receive one worker reply; returns 1 if its task went terminal."""
         try:
@@ -398,7 +417,7 @@ class ResilientPool:
             # pipe EOF / unpicklable reply: the worker is gone or insane
             return self._fail_attempt(
                 worker, states, ready, tiebreak, now,
-                on_outcome, max_attempts, backoff_base, backoff_cap,
+                on_outcome, max_attempts, backoff_base, backoff_cap, observer,
                 kind="crash",
                 error_type="WorkerCrash",
                 message="worker process died mid-run (killed, OOM or hard exit)",
@@ -411,7 +430,7 @@ class ResilientPool:
         if reply_id != task_id:  # pragma: no cover - protocol desync guard
             return self._fail_attempt(
                 worker, states, ready, tiebreak, now,
-                on_outcome, max_attempts, backoff_base, backoff_cap,
+                on_outcome, max_attempts, backoff_base, backoff_cap, observer,
                 kind="invalid",
                 error_type="ProtocolError",
                 message=f"worker answered task {reply_id}, expected {task_id}",
@@ -433,7 +452,7 @@ class ResilientPool:
         if tag == "ok":  # failed validation: a corrupted response
             return self._fail_attempt(
                 worker, states, ready, tiebreak, now,
-                on_outcome, max_attempts, backoff_base, backoff_cap,
+                on_outcome, max_attempts, backoff_base, backoff_cap, observer,
                 kind="invalid",
                 error_type="CorruptRecordError",
                 message=(
@@ -445,7 +464,7 @@ class ResilientPool:
         error_type, message, tb_text, exc = payload
         return self._fail_attempt(
             worker, states, ready, tiebreak, now,
-            on_outcome, max_attempts, backoff_base, backoff_cap,
+            on_outcome, max_attempts, backoff_base, backoff_cap, observer,
             kind="error",
             error_type=error_type,
             message=message,
@@ -456,7 +475,7 @@ class ResilientPool:
 
     def _fail_attempt(
         self, worker, states, ready, tiebreak, now,
-        on_outcome, max_attempts, backoff_base, backoff_cap,
+        on_outcome, max_attempts, backoff_base, backoff_cap, observer=None,
         *, kind, error_type, message, traceback_text="", exception=None,
         repair,
     ) -> int:
@@ -480,6 +499,14 @@ class ResilientPool:
                 backoff_cap,
             ) * _jitter(task_id, state.attempts)
             heapq.heappush(ready, (now + delay, next(tiebreak), task_id))
+            if observer is not None:
+                observer({
+                    "event": "retry",
+                    "i": task_id,
+                    "attempt": state.attempts,
+                    "kind": kind,
+                    "delay": round(delay, 6),
+                })
             return 0
         on_outcome(TaskOutcome(
             task_id=task_id,

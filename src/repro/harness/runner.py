@@ -120,8 +120,10 @@ __all__ = [
     "code_version",
     "expand_grid",
     "make_cache",
+    "quarantine_count",
     "run_matrix",
     "shutdown_warm_pool",
+    "spans_path",
     "warm_pool_stats",
 ]
 
@@ -169,12 +171,18 @@ class SweepRunError(RuntimeError):
 class RunRecord:
     """One completed scenario run.
 
-    ``elapsed``/``cached``/``worker_pid``/``attempts`` are execution
-    metadata and do not participate in equality: two records are equal
-    when the same scenario with the same parameters produced the same
-    result.  A record whose result is a
-    :class:`~repro.harness.result.RunFailure` represents a terminally
+    ``elapsed``/``cached``/``worker_pid``/``attempts``/``cpu``/
+    ``profile`` are execution metadata and do not participate in
+    equality: two records are equal when the same scenario with the
+    same parameters produced the same result.  A record whose result is
+    a :class:`~repro.harness.result.RunFailure` represents a terminally
     failed cell (``record.ok`` is False).
+
+    ``cpu`` is the successful attempt's ``time.process_time`` delta;
+    ``profile`` carries the compact cProfile stats captured when
+    profiling was requested (``REPRO_PROFILE=1`` /
+    ``run_matrix(profile=True)``) and is stripped before a record is
+    stored in the memo cache.
     """
 
     scenario: str
@@ -184,6 +192,10 @@ class RunRecord:
     cached: bool = field(compare=False, default=False)
     worker_pid: int = field(compare=False, default=0)
     attempts: int = field(compare=False, default=1)
+    cpu: float = field(compare=False, default=0.0)
+    profile: Optional[Dict[Any, Any]] = field(
+        compare=False, default=None, repr=False
+    )
 
     @property
     def seed(self) -> Optional[int]:
@@ -209,6 +221,8 @@ class RunRecord:
                 self.cached,
                 self.worker_pid,
                 self.attempts,
+                self.cpu,
+                self.profile,
             ),
         )
 
@@ -221,10 +235,18 @@ def _rebuild_run_record(
     cached: bool,
     worker_pid: int,
     attempts: int = 1,
+    cpu: float = 0.0,
+    profile: Optional[Dict[Any, Any]] = None,
 ) -> RunRecord:
-    """Unpickle helper for :meth:`RunRecord.__reduce__` (top-level)."""
+    """Unpickle helper for :meth:`RunRecord.__reduce__` (top-level).
+
+    The trailing arguments default so pickles written by older code
+    versions still load (the ``code_version`` cache key retires them
+    anyway, but a partially upgraded fleet must not hard-fail).
+    """
     return RunRecord(
-        scenario, params, result, elapsed, cached, worker_pid, attempts
+        scenario, params, result, elapsed, cached, worker_pid, attempts,
+        cpu, profile,
     )
 
 
@@ -301,9 +323,20 @@ def cache_key(scenario: str, params: Mapping[str, Any]) -> str:
 #: wiped cache directory would otherwise emit hundreds.
 _QUARANTINE_WARNED = False
 
+#: Total corrupt cache entries quarantined this process (every
+#: quarantine counts, even though only the first one warns) — the
+#: metrics plane harvests this at sweep end.
+_QUARANTINE_COUNT = 0
+
+
+def quarantine_count() -> int:
+    """Corrupt cache entries quarantined by this process so far."""
+    return _QUARANTINE_COUNT
+
 
 def _warn_quarantine(what: str, exc: Exception) -> None:
-    global _QUARANTINE_WARNED
+    global _QUARANTINE_WARNED, _QUARANTINE_COUNT
+    _QUARANTINE_COUNT += 1
     if _QUARANTINE_WARNED:
         return
     _QUARANTINE_WARNED = True
@@ -645,6 +678,14 @@ def _manifest_path(cache: Any, scenario: str) -> Path:
     return cache.directory / name
 
 
+def spans_path(cache: Any, scenario: str) -> Path:
+    """Where a traced sweep's span JSONL lives (next to its manifest)."""
+    name = f"{scenario}.spans.jsonl"
+    if isinstance(cache, SqliteSweepCache):
+        return cache.path.parent / f"{cache.path.name}.{name}"
+    return cache.directory / name
+
+
 # ----------------------------------------------------------------------
 # warm worker pool
 # ----------------------------------------------------------------------
@@ -771,27 +812,36 @@ def _release_pool(state: Dict[str, Any], transient: bool) -> None:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
-def _execute_run(task: Tuple[str, Dict[str, Any], int, Any]) -> Any:
+def _execute_run(task: Tuple[str, Dict[str, Any], int, Any, bool]) -> Any:
     """Worker entry point: run one scenario attempt.
 
-    ``task`` is ``(scenario, params, attempt, fault_plan)``.  Top-level
-    (picklable) and self-contained: it re-resolves the scenario by name
-    so it works identically in-process, in forked workers and in
-    spawned workers (where the registry starts empty).  The fault plan
-    rides with the task — never read from the worker's environment —
-    so a warm pool forked under one plan can serve a sweep under
-    another.  Returns the :class:`RunRecord`, or the injected
+    ``task`` is ``(scenario, params, attempt, fault_plan, profile)``.
+    Top-level (picklable) and self-contained: it re-resolves the
+    scenario by name so it works identically in-process, in forked
+    workers and in spawned workers (where the registry starts empty).
+    The fault plan and the profile flag ride with the task — never read
+    from the worker's environment — so a warm pool forked under one
+    configuration can serve a sweep under another.  Returns the
+    :class:`RunRecord`, or the injected
     :class:`~repro.harness.faults.CorruptRecord` garbage that response
     validation must reject.
     """
-    scenario, params, attempt, plan = task
+    scenario, params, attempt, plan, profile = task
     if plan is not None:
         corrupt = plan.apply(scenario, params, attempt)
         if corrupt is not None:
             return corrupt
     spec = get_scenario(scenario)
+    kwargs = spec.bind(params)
     start = time.perf_counter()
-    result = spec.fn(**spec.bind(params))
+    cpu_start = time.process_time()
+    stats = None
+    if profile:
+        from repro.obs.profiling import profile_call
+
+        result, stats = profile_call(spec.fn, **kwargs)
+    else:
+        result = spec.fn(**kwargs)
     return RunRecord(
         scenario=scenario,
         params=params,
@@ -799,6 +849,8 @@ def _execute_run(task: Tuple[str, Dict[str, Any], int, Any]) -> Any:
         elapsed=time.perf_counter() - start,
         worker_pid=os.getpid(),
         attempts=attempt,
+        cpu=time.process_time() - cpu_start,
+        profile=stats,
     )
 
 
@@ -888,6 +940,8 @@ def run_matrix(
     strict: bool = True,
     resume: bool = False,
     faults: Optional[faults_mod.FaultPlan] = None,
+    observer: Optional[Callable[[Dict[str, Any]], None]] = None,
+    profile: bool = False,
 ) -> List[RunRecord]:
     """Run ``scenario`` over a parameter grid, optionally in parallel.
 
@@ -945,6 +999,17 @@ def run_matrix(
         Explicit :class:`~repro.harness.faults.FaultPlan` for chaos
         testing; defaults to the ``REPRO_FAULTS`` environment hook.
         The plan travels with each task into the workers.
+    observer:
+        Optional span-trace callback (see :mod:`repro.obs.spans`)
+        receiving flat event dicts for every cell transition — queued,
+        dispatched, retry, done, failed.  ``None`` (the default) keeps
+        the sweep structurally unobserved: no event construction
+        happens anywhere.
+    profile:
+        Wrap every fresh cell's scenario function in cProfile and
+        attach the compact stats to ``RunRecord.profile``.  Defaults to
+        the ``REPRO_PROFILE`` environment hook; the resolved flag
+        travels with each task, never through worker environments.
 
     Returns
     -------
@@ -976,6 +1041,10 @@ def run_matrix(
 
     if faults is None:
         faults = faults_mod.plan_from_env()
+    if not profile:
+        from repro.obs.profiling import profiling_requested
+
+        profile = profiling_requested()
 
     cache = make_cache(cache_dir)
     if resume and cache is None:
@@ -1007,6 +1076,8 @@ def run_matrix(
                 run_timeout=run_timeout,
                 strict=strict,
                 faults=faults,
+                observer=observer,
+                profile=profile,
             )
     finally:
         if manifest is not None:
@@ -1028,15 +1099,20 @@ def _run_cells(
     run_timeout: Optional[float],
     strict: bool,
     faults,
+    observer=None,
+    profile: bool = False,
 ) -> None:
     misses: List[int] = []
     for i, params in enumerate(run_params):
         cached = cache.load(scenario, params) if cache is not None else None
         if cached is not None:
             _finish(cached, records, i, cache=None, manifest=manifest,
-                    progress=progress)
+                    progress=progress, observer=observer)
         else:
             misses.append(i)
+    if observer is not None:
+        for i in misses:
+            observer({"event": "queued", "i": i})
     if not misses:
         return
 
@@ -1049,6 +1125,7 @@ def _run_cells(
             scenario, run_params, records, misses,
             cache=cache, manifest=manifest, progress=progress,
             max_retries=max_retries, strict=strict, faults=faults,
+            observer=observer, profile=profile,
         )
         return
 
@@ -1059,27 +1136,29 @@ def _run_cells(
         params = run_params[index]
         if outcome.ok:
             _finish(outcome.payload, records, index, cache=cache,
-                    manifest=manifest, progress=progress)
+                    manifest=manifest, progress=progress, observer=observer)
             return
         if strict:
             if manifest is not None:
                 manifest.record(index, "failed", error=outcome.error_type)
             _raise_strict(scenario, params, outcome)
         _finish(_failure_record(scenario, params, outcome), records, index,
-                cache=cache, manifest=manifest, progress=progress)
+                cache=cache, manifest=manifest, progress=progress,
+                observer=observer)
 
     try:
         state["pool"].run_tasks(
             [(i, (scenario, run_params[i])) for i in misses],
             on_outcome=on_outcome,
             make_task=lambda task, attempt: (
-                task[0], task[1], attempt, faults
+                task[0], task[1], attempt, faults, profile
             ),
             validate=_valid_response,
             run_timeout=run_timeout,
             max_attempts=max_retries + 1,
             backoff_base=BACKOFF_BASE,
             backoff_cap=BACKOFF_CAP,
+            observer=observer,
         )
     finally:
         _release_pool(state, transient)
@@ -1097,6 +1176,8 @@ def _run_serial(
     max_retries: int,
     strict: bool,
     faults,
+    observer=None,
+    profile: bool = False,
 ) -> None:
     """The in-process path: same retry semantics, no pool, no deadlines.
 
@@ -1109,13 +1190,23 @@ def _run_serial(
         attempt = 0
         while True:
             attempt += 1
+            if observer is not None:
+                observer({
+                    "event": "dispatched",
+                    "i": index,
+                    "attempt": attempt,
+                    "worker": os.getpid(),
+                })
             started = time.perf_counter()
             failure: Optional[TaskOutcome] = None
             try:
-                payload = _execute_run((scenario, params, attempt, faults))
+                payload = _execute_run(
+                    (scenario, params, attempt, faults, profile)
+                )
                 if _valid_response((scenario, params), payload):
                     _finish(payload, records, index, cache=cache,
-                            manifest=manifest, progress=progress)
+                            manifest=manifest, progress=progress,
+                            observer=observer)
                     break
                 failure = TaskOutcome(
                     task_id=index,
@@ -1139,9 +1230,18 @@ def _run_serial(
                 )
             elapsed += time.perf_counter() - started
             if attempt <= max_retries:
-                time.sleep(min(
+                delay = min(
                     BACKOFF_BASE * (2 ** (attempt - 1)), BACKOFF_CAP
-                ) * 0.5)
+                ) * 0.5
+                if observer is not None:
+                    observer({
+                        "event": "retry",
+                        "i": index,
+                        "attempt": attempt,
+                        "kind": failure.failure,
+                        "delay": round(delay, 6),
+                    })
+                time.sleep(delay)
                 continue
             failure.attempts = attempt
             failure.elapsed = elapsed
@@ -1151,7 +1251,8 @@ def _run_serial(
                                     error=failure.error_type)
                 _raise_strict(scenario, params, failure)
             _finish(_failure_record(scenario, params, failure), records,
-                    index, cache=cache, manifest=manifest, progress=progress)
+                    index, cache=cache, manifest=manifest, progress=progress,
+                    observer=observer)
             break
 
 
@@ -1163,16 +1264,44 @@ def _finish(
     cache,
     manifest: Optional[SweepManifest],
     progress: Optional[Callable[[RunRecord], None]],
+    observer: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> None:
     records[index] = record
     if cache is not None and record.ok:
         # terminal failures are never cached: a resumed or re-run sweep
-        # must retry them, and the memo must only ever replay successes
+        # must retry them, and the memo must only ever replay successes.
+        # profile payloads are execution metadata of THIS run — strip
+        # them so a cache hit never replays a stale profile
+        stats = record.profile
+        if stats is not None:
+            record.profile = None
         cache.store(record)
+        if stats is not None:
+            record.profile = stats
     if manifest is not None:
         if record.ok:
             manifest.record(index, "ok")
         else:
             manifest.record(index, "failed", error=record.result.error)
+    if observer is not None:
+        if record.ok:
+            observer({
+                "event": "done",
+                "i": index,
+                "wall": round(record.elapsed, 6),
+                "cpu": round(record.cpu, 6),
+                "worker": record.worker_pid,
+                "attempts": record.attempts,
+                "cached": record.cached,
+            })
+        else:
+            observer({
+                "event": "failed",
+                "i": index,
+                "kind": record.result.failure_kind,
+                "error": record.result.error,
+                "attempts": record.attempts,
+                "wall": round(record.elapsed, 6),
+            })
     if progress is not None:
         progress(record)

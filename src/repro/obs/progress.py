@@ -1,0 +1,95 @@
+"""Live sweep progress rendering from the span event stream.
+
+:class:`ProgressRenderer` is an observer callable (same vocabulary as
+:mod:`repro.obs.spans`) that paints done/failed/retried counts, an ETA
+extrapolated from completed-cell pace, and per-worker utilization.  It
+writes to stderr by default so stdout stays pure data; on a TTY it
+redraws one line in place (``\\r``), otherwise it prints one line per
+completed cell so CI logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import Any, Dict, IO, Optional
+
+__all__ = ["ProgressRenderer"]
+
+
+class ProgressRenderer:
+    """Render live sweep progress from span events (see module doc)."""
+
+    def __init__(self, total: Optional[int] = None,
+                 stream: Optional[IO[str]] = None):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        self.cached = 0
+        self._t0 = perf_counter()
+        self._workers: Dict[int, Dict[str, float]] = {}
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._painted = False
+
+    # -- observer ------------------------------------------------------
+    def __call__(self, event: Dict[str, Any]) -> None:
+        kind = event.get("event")
+        if kind == "sweep" and self.total is None:
+            self.total = event.get("cells")
+        elif kind == "retry":
+            self.retried += 1
+        elif kind == "done":
+            self.done += 1
+            if event.get("cached"):
+                self.cached += 1
+            else:
+                worker = event.get("worker")
+                if worker is not None:
+                    slot = self._workers.setdefault(
+                        worker, {"cells": 0, "busy": 0.0})
+                    slot["cells"] += 1
+                    slot["busy"] += event.get("wall", 0.0)
+            self._paint()
+        elif kind == "failed":
+            self.failed += 1
+            self._paint()
+
+    # -- rendering -----------------------------------------------------
+    def _line(self) -> str:
+        finished = self.done + self.failed
+        total = self.total if self.total is not None else finished
+        elapsed = perf_counter() - self._t0
+        if finished and total > finished:
+            eta = elapsed / finished * (total - finished)
+            eta_text = f" eta={eta:.0f}s"
+        else:
+            eta_text = ""
+        return (
+            f"[{finished}/{total}] ok={self.done}"
+            f" failed={self.failed} retried={self.retried}"
+            f" cached={self.cached}{eta_text}"
+        )
+
+    def _paint(self) -> None:
+        if self._tty:
+            self.stream.write("\r" + self._line() + "\x1b[K")
+        else:
+            self.stream.write(self._line() + "\n")
+        self.stream.flush()
+        self._painted = True
+
+    def close(self) -> None:
+        """Finish the display: newline (TTY) plus worker utilization."""
+        if self._tty and self._painted:
+            self.stream.write("\n")
+        elapsed = perf_counter() - self._t0
+        for pid in sorted(self._workers):
+            slot = self._workers[pid]
+            util = slot["busy"] / elapsed if elapsed > 0 else 0.0
+            self.stream.write(
+                f"worker {pid}: {int(slot['cells'])} cells, "
+                f"{slot['busy']:.2f}s busy ({util:.0%} utilization)\n"
+            )
+        self.stream.flush()

@@ -75,11 +75,19 @@ from __future__ import annotations
 
 import heapq
 import random
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 _event_new = object.__new__
+
+# Observability run hook (repro.obs.metrics installs/uninstalls this via
+# enable_metrics()/disable_metrics()).  When None — the default — the
+# engine is structurally unobserved: run() checks the global once at
+# entry and once at exit, never inside the event loop, and simulators
+# constructed while it is None do not even track their links.
+_obs_run_hook: Optional[Callable[["Simulator", int, float], None]] = None
 
 
 class SimulationError(Exception):
@@ -154,6 +162,11 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._event_pool: List[Event] = []
+        # populated by Link.__init__ only while the metrics plane is on
+        # at construction time; None means "not tracking" (the default)
+        self._obs_links: Optional[List[Any]] = (
+            [] if _obs_run_hook is not None else None
+        )
 
     # ------------------------------------------------------------------
     # scheduling
@@ -284,6 +297,10 @@ class Simulator:
         """
         processed = 0
         self._running = True
+        # observability: the hook global is read once per run() call —
+        # the event loop below is identical whether or not it is set
+        hook = _obs_run_hook
+        wall_start = _perf_counter() if hook is not None else 0.0
         heap = self._heap
         pop = _heappop
         pool = self._event_pool
@@ -352,6 +369,8 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
         self._events_processed += processed
+        if hook is not None:
+            hook(self, processed, _perf_counter() - wall_start)
         return processed
 
     def step(self) -> bool:

@@ -106,6 +106,13 @@ class Link:
         self.on_drop: Optional[Callable[[Packet], None]] = None
         self._pool = PacketPool.of(sim)
         src.links[dst.name] = self
+        # observability: register for end-of-run queue-stat harvesting.
+        # _obs_links is None unless the metrics plane was enabled when
+        # the simulator was constructed — one attribute check at link
+        # construction, nothing on the packet path.
+        obs_links = getattr(sim, "_obs_links", None)
+        if obs_links is not None:
+            obs_links.append(self)
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:

@@ -30,6 +30,7 @@ the schedule calls of step 4.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
@@ -66,6 +67,17 @@ from repro.topo.specs import (
 Sender = Union[QtpSender, TcpSender]
 Receiver = Union[QtpReceiver, TcpReceiver]
 
+#: Opt-in engine-level packet tracing (the observability plane):
+#: ``REPRO_TRACE=1`` attaches one :class:`repro.sim.trace.PacketTracer`
+#: to every link of every built scenario, reachable as
+#: ``BuiltScenario.tracer``.  Off by default — no wrapper objects are
+#: created and the packet path is untouched.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def _tracing_requested() -> bool:
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
 
 @dataclass
 class BuiltScenario:
@@ -89,6 +101,9 @@ class BuiltScenario:
         default_factory=dict
     )
     slas: Dict[str, ServiceLevelAgreement] = field(default_factory=dict)
+    #: the opt-in PacketTracer attached to every link when REPRO_TRACE
+    #: was set at build time; None (the default) otherwise
+    tracer: Optional[object] = None
 
     def link(self, src: str, dst: str) -> Link:
         """The directed link ``src -> dst``."""
@@ -177,6 +192,17 @@ def build(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
             sim.schedule(fs.start, sender.start)
         if fs.stop is not None:
             sim.schedule(fs.stop, sender.stop)
+    # 5. (opt-in observability; AFTER the pinned steps above) attach a
+    # packet tracer to every link.  The wrappers only observe — no
+    # random draws, no schedule calls — so the golden event order is
+    # untouched even when tracing is on.
+    if _tracing_requested():
+        from repro.sim.trace import PacketTracer
+
+        tracer = PacketTracer()
+        for link in net.links:
+            tracer.attach(link)
+        built.tracer = tracer
     return built
 
 

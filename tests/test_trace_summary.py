@@ -101,6 +101,98 @@ class TestPacketTracer:
         assert tracer.per_flow_counts(TraceEvent.DELIVER) == {"f": 3}
 
 
+class _StubSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _StubLink:
+    """Just enough link surface for PacketTracer._record."""
+
+    def __init__(self, name="a->b"):
+        self.name = name
+        self.sim = _StubSim()
+
+
+class TestRingCompactionEdges:
+    """PR 4 ring internals: head offset + amortized compaction."""
+
+    def _feed(self, tracer, link, n, start_uid=0):
+        for uid in range(start_uid, start_uid + n):
+            packet = Packet(src="a", dst="b", flow_id="f", size=uid)
+            tracer._record(link, packet, TraceEvent.ENQUEUE)
+            link.sim.now += 1.0
+
+    def test_capacity_one_ring(self):
+        # max_records=1: every record past the first both advances the
+        # head AND immediately hits the head >= max_records compaction
+        link = _StubLink()
+        tracer = PacketTracer(max_records=1)
+        self._feed(tracer, link, 5)
+        assert len(tracer.records) == 1
+        assert tracer.records[0].size == 4  # only the newest survives
+        assert tracer.dropped_records == 4
+        assert tracer._head == 0  # compacted back to a dense buffer
+        assert len(tracer._times) == 1  # dead prefix physically freed
+
+    def test_compaction_exactly_at_head_threshold(self):
+        # head reaches max_records (3) exactly on the 6th record: the
+        # column buffers are 2*max_records long right when compaction
+        # fires, and exactly max_records live rows survive the copy
+        link = _StubLink()
+        tracer = PacketTracer(max_records=3)
+        self._feed(tracer, link, 5)
+        assert tracer._head == 2  # two discards, threshold not yet hit
+        assert len(tracer._times) == 5
+        self._feed(tracer, link, 1, start_uid=5)
+        assert tracer._head == 0  # third discard triggered compaction
+        assert len(tracer._times) == 3
+        assert [r.size for r in tracer.records] == [3, 4, 5]
+        assert tracer.dropped_records == 3
+
+    def test_queries_consistent_across_compaction_boundary(self):
+        # materialize every query just before and just after the
+        # compaction fires; the live window must be identical modulo
+        # the one record appended in between
+        link = _StubLink()
+        tracer = PacketTracer(max_records=3)
+        self._feed(tracer, link, 5)
+        before = [r.size for r in tracer.records]
+        count_before = tracer.count(TraceEvent.ENQUEUE)
+        per_flow_before = tracer.per_flow_counts(TraceEvent.ENQUEUE)
+        self._feed(tracer, link, 1, start_uid=5)  # triggers compaction
+        after = [r.size for r in tracer.records]
+        assert before == [2, 3, 4]
+        assert after == [3, 4, 5]
+        assert count_before == 3
+        assert tracer.count(TraceEvent.ENQUEUE) == 3
+        assert per_flow_before == {"f": 3}
+        assert tracer.per_flow_counts(TraceEvent.ENQUEUE) == {"f": 3}
+        # events_of sees the same live window as records
+        assert [r.size for r in tracer.events_of(TraceEvent.ENQUEUE)] == after
+
+    def test_one_way_delays_span_compaction(self):
+        # an enqueue whose deliver lands after a compaction still pairs
+        # up, as long as the enqueue itself is in the live window
+        link = _StubLink()
+        tracer = PacketTracer(max_records=4)
+        packet = Packet(src="a", dst="b", flow_id="f", size=1)
+        tracer._record(link, packet, TraceEvent.ENQUEUE)
+        link.sim.now = 10.0
+        # 7 fillers discard 4 old rows -> one compaction fires
+        self._feed(tracer, link, 7, start_uid=100)
+        assert tracer._head == 0 and tracer.dropped_records == 4
+        tracer._record(link, packet, TraceEvent.DELIVER)
+        # the original enqueue was compacted away: no pair remains
+        assert tracer.one_way_delays("f") == []
+        # a fresh enqueue/deliver pair inside the live window does pair
+        packet2 = Packet(src="a", dst="b", flow_id="f", size=2)
+        tracer._record(link, packet2, TraceEvent.ENQUEUE)
+        link.sim.now += 2.5
+        tracer._record(link, packet2, TraceEvent.DELIVER)
+        assert tracer.one_way_delays("f") == [pytest.approx(2.5)]
+
+
 class TestFlowSummary:
     def make_recorder(self):
         rec = FlowRecorder("flow")
