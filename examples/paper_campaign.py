@@ -1,0 +1,130 @@
+"""Regenerate the paper's T1 + F1 tables through one crash-safe Campaign.
+
+The campaign layer runs both sweeps as one named unit under a single
+durable directory: spec + provenance, per-job results/tables, an
+integrity manifest and a markdown report.  Kill this script at any
+instant and re-run it with ``--resume`` — it completes exactly the
+missing work and the artifacts come out byte-identical (the final diff
+against the committed ``benchmarks/results/`` tables proves it).
+
+Usage::
+
+    PYTHONPATH=src python examples/paper_campaign.py [--dir DIR] [--resume]
+
+The full sweeps take a few minutes; interrupting and resuming is the
+point, not a failure mode.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api import Experiment, ResultSet
+from repro.campaign import Campaign, verify_campaign
+from repro.harness.tables import format_table
+
+REPO = Path(__file__).resolve().parent.parent
+COMMITTED = REPO / "benchmarks" / "results"
+
+T1_TARGETS = (2e6, 4e6, 6e6, 8e6)
+T1_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+F1_SEEDS = (0, 1, 2)
+
+
+def t1_table(results: ResultSet) -> str:
+    rows = []
+    for target in T1_TARGETS:
+        for proto in T1_PROTOCOLS:
+            r = results.one(target_bps=target, protocol=proto)
+            rows.append([
+                f"{target / 1e6:.0f}",
+                proto,
+                r.achieved_bps / 1e6,
+                r.ratio,
+                r.green_drop_ratio,
+                r.out_drop_ratio,
+                r.cross_total_bps / 1e6,
+            ])
+    return format_table(
+        ["g (Mb/s)", "protocol", "achieved (Mb/s)", "ratio",
+         "green drop", "out drop", "cross (Mb/s)"],
+        rows,
+        title="T1: AF bandwidth assurance "
+              "(10 Mb/s RIO, 8 TCP cross, assured RTT ~240 ms)",
+    )
+
+
+def f1_table(results: ResultSet) -> str:
+    rows = []
+    for proto in ("tfrc", "tcp"):
+        for seed in F1_SEEDS:
+            r = results.one(protocol=proto, seed=seed)
+            rows.append([proto, seed, r.mean_bps / 1e6, r.cov])
+    mean_cov = results.aggregate("cov", over="seed", stats=("mean",))
+    rows.append(["tfrc", "mean", "", mean_cov.value("cov_mean", protocol="tfrc")])
+    rows.append(["tcp", "mean", "", mean_cov.value("cov_mean", protocol="tcp")])
+    return format_table(
+        ["protocol", "seed", "mean rate (Mb/s)", "CoV (200 ms bins)"],
+        rows,
+        title="F1: throughput smoothness vs one TCP competitor "
+              "(4 Mb/s RED bottleneck)",
+    )
+
+
+def build_campaign(workers) -> Campaign:
+    return (
+        Campaign("paper")
+        .add(
+            "t1",
+            Experiment("af_assurance")
+            .sweep(target_bps=T1_TARGETS, protocol=T1_PROTOCOLS)
+            .configure(n_cross=8, assured_access_delay=0.1,
+                       duration=40.0, warmup=10.0, seed=3)
+            .workers(workers),
+            table=t1_table,
+        )
+        .add(
+            "f1",
+            Experiment("smoothness")
+            .sweep(protocol=("tfrc", "tcp"))
+            .configure(duration=80, warmup=20)
+            .seeds(F1_SEEDS)
+            .workers(workers),
+            table=f1_table,
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", type=Path,
+                        default=REPO / "results" / "paper_campaign")
+    parser.add_argument("--resume", action="store_true",
+                        help="complete a previously interrupted run")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes per sweep (0 = one per CPU)")
+    args = parser.parse_args(argv)
+
+    run = build_campaign(args.workers).run(args.dir, resume=args.resume)
+    print(run.summary())
+    print(f"report: {run.report_path}")
+
+    integrity = verify_campaign(args.dir)
+    print(integrity.summary())
+
+    # the regenerated tables must match the committed paper tables
+    status = 0 if run.ok and integrity.ok else 1
+    for job, committed in (("t1", "t1_af_assurance.txt"),
+                           ("f1", "f1_smoothness.txt")):
+        produced = args.dir / "scenarios" / job / "table.txt"
+        expected = COMMITTED / committed
+        if produced.read_bytes() == expected.read_bytes():
+            print(f"{job}: matches committed {expected.name}")
+        else:
+            print(f"{job}: DIFFERS from committed {expected.name}")
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -200,6 +200,27 @@ class Experiment:
             n *= len(self._seeds)
         return n
 
+    def describe(self) -> Dict[str, Any]:
+        """The accumulated definition as one JSON-ready dict.
+
+        This is the serialization :mod:`repro.campaign` persists in
+        ``campaign.json``; rebuilding an :class:`Experiment` from it
+        (same scenario, grid, base, seeds, workers, retries, timeout)
+        reproduces this definition exactly — parameter *values* must
+        therefore be JSON-representable to round-trip.  Only the
+        explicitly set grid is recorded (``{}`` means the registered
+        default grid applies at run time).
+        """
+        return {
+            "scenario": self._spec.name,
+            "grid": {name: list(values) for name, values in self._grid.items()},
+            "base": dict(self._base),
+            "seeds": list(self._seeds) if self._seeds is not None else None,
+            "workers": self._workers,
+            "retries": self._max_retries,
+            "timeout": self._run_timeout,
+        }
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

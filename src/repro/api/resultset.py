@@ -49,6 +49,7 @@ from typing import (
     Union,
 )
 
+from repro.ioutil import atomic_write_text
 from repro.harness.result import (
     MappingResult,
     RunFailure,
@@ -493,7 +494,7 @@ class ResultSet:
         writer.writerows(rows)
         text = buffer.getvalue()
         if path is not None:
-            Path(path).write_text(text)
+            atomic_write_text(path, text)
         return text
 
     def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
@@ -529,5 +530,5 @@ class ResultSet:
             payload.append(entry)
         text = json.dumps(payload, indent=2, default=repr)
         if path is not None:
-            Path(path).write_text(text)
+            atomic_write_text(path, text)
         return text

@@ -1,0 +1,61 @@
+"""Crash-safe multi-scenario experiment campaigns.
+
+The campaign layer turns many :class:`~repro.api.Experiment` sweeps
+into one named, durable, resumable unit::
+
+    from repro.api import Experiment
+    from repro.campaign import Campaign
+
+    run = (
+        Campaign("paper")
+        .add("t1", Experiment("af_assurance").sweep(protocol=("tcp", "qtpaf")))
+        .add("f1", Experiment("smoothness").seeds((0, 1, 2)))
+        .run("results/paper")
+    )
+    print(run.summary())
+
+Everything lands under one directory — spec + provenance, per-job
+ResultSet exports and tables, an integrity manifest of content hashes,
+an fsync'd checkpoint journal and a generated markdown report — and
+the orchestrator can be SIGKILLed at any instant: ``Campaign.run(...,
+resume=True)`` / ``campaign resume <dir>`` completes exactly the
+missing work with byte-identical artifacts, and ``campaign verify
+<dir>`` re-checks the hashes, quarantining anything corrupt.  See
+:mod:`repro.campaign.store` for the layout and ``docs/campaigns.md``
+for the full semantics.
+"""
+
+from repro.campaign.report import build_report
+from repro.campaign.runner import (
+    Campaign,
+    CampaignRun,
+    JobOutcome,
+    resume_campaign,
+    verify_campaign,
+    write_report,
+)
+from repro.campaign.spec import CampaignError, CampaignSpec, JobSpec, load_spec
+from repro.campaign.store import (
+    CampaignJournal,
+    CampaignStore,
+    VerifyFinding,
+    VerifyReport,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignJournal",
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignStore",
+    "JobOutcome",
+    "JobSpec",
+    "VerifyFinding",
+    "VerifyReport",
+    "build_report",
+    "load_spec",
+    "resume_campaign",
+    "verify_campaign",
+    "write_report",
+]

@@ -1,0 +1,119 @@
+"""The generated cross-scenario campaign report.
+
+:func:`build_report` renders ``report.md`` purely from what is on disk
+— ``campaign.json``, the journal, and the per-scenario ``table.txt`` /
+``failure.json`` artifacts — so the exact same text is produced during
+the run, by ``campaign report <dir>`` afterwards, and by a resumed run
+regenerating it (byte-identical, which the chaos suite asserts).  No
+wall-clock timestamps or host detail appear in the body: everything
+non-deterministic about an execution lives in the journal and span
+files, not in tracked artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.campaign.store import CampaignJournal, CampaignStore
+
+__all__ = ["build_report"]
+
+
+def _job_row(job: Mapping[str, Any], entry: Optional[Mapping[str, Any]]) -> List[str]:
+    name = str(job.get("name"))
+    scenario = str(job.get("scenario"))
+    if entry is None:
+        return [name, scenario, "pending", "-", "-"]
+    status = str(entry.get("status", "?"))
+    cells = entry.get("cells")
+    ok = entry.get("ok")
+    if status == "failed" or cells in (None, 0):
+        return [name, scenario, status, str(cells) if cells else "-", "0%"]
+    coverage = f"{100.0 * float(ok) / float(cells):.0f}%"
+    return [name, scenario, status, str(cells), coverage]
+
+
+def _failure_text(store: CampaignStore, name: str,
+                  entry: Optional[Mapping[str, Any]]) -> str:
+    detail: Dict[str, Any] = {}
+    failure_path = store.scenario_dir(name) / "failure.json"
+    try:
+        detail = json.loads(failure_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        if entry is not None and isinstance(entry.get("failure"), dict):
+            detail = dict(entry["failure"])
+    kind = detail.get("kind", "error")
+    error = detail.get("error", "")
+    message = detail.get("message", "no detail recorded")
+    label = f"{kind} ({error})" if error else str(kind)
+    return f"**FAILED** — {label}: {message}"
+
+
+def build_report(store: CampaignStore) -> str:
+    """Render the campaign report markdown from the on-disk state."""
+    doc = store.read_spec_document()
+    journal = CampaignJournal.read(store.journal_path)
+    jobs = list(doc.get("jobs", []))
+    entries = journal["scenarios"]
+
+    statuses = [
+        str(entries[str(j.get("name"))].get("status"))
+        if str(j.get("name")) in entries else "pending"
+        for j in jobs
+    ]
+    n_ok = statuses.count("ok")
+    n_partial = statuses.count("partial")
+    n_failed = statuses.count("failed") + statuses.count("pending")
+
+    lines: List[str] = [
+        f"# Campaign report: {doc.get('name')}",
+        "",
+        f"- spec hash: `{doc.get('spec_hash')}`",
+        f"- code version: `{doc.get('provenance', {}).get('code_version')}`",
+        f"- jobs: {len(jobs)} (ok {n_ok}, partial {n_partial}, "
+        f"failed {n_failed})",
+        "",
+        "## Coverage",
+        "",
+        "| job | scenario | status | cells | coverage |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for job in jobs:
+        entry = entries.get(str(job.get("name")))
+        lines.append("| " + " | ".join(_job_row(job, entry)) + " |")
+    lines.append("")
+    if n_partial == 0 and n_failed == 0:
+        lines.append(f"All {len(jobs)} jobs completed with full coverage.")
+    else:
+        lines.append(
+            f"Coverage is INCOMPLETE: {n_failed} job(s) failed and "
+            f"{n_partial} completed partially — the results below come "
+            "from the surviving runs only."
+        )
+    lines += ["", "## Results", ""]
+
+    for job in jobs:
+        name = str(job.get("name"))
+        entry = entries.get(name)
+        status = str(entry.get("status")) if entry is not None else "pending"
+        lines.append(f"### {name} — `{job.get('scenario')}`")
+        lines.append("")
+        table_path = store.scenario_dir(name) / "table.txt"
+        if status in ("ok", "partial") and table_path.exists():
+            if status == "partial":
+                cells, ok = entry.get("cells"), entry.get("ok")
+                lines.append(
+                    f"Partial coverage: {ok} of {cells} cells completed."
+                )
+                lines.append("")
+            lines.append("```")
+            lines.append(table_path.read_text(encoding="utf-8").rstrip("\n"))
+            lines.append("```")
+        elif status == "pending":
+            lines.append("*pending — never ran (campaign interrupted?)*")
+        else:
+            lines.append(_failure_text(store, name, entry))
+        lines.append("")
+
+    return "\n".join(lines).rstrip("\n") + "\n"

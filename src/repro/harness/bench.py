@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.ioutil import atomic_write_text
 from repro.sim.engine import Simulator
 
 #: Default location of the committed benchmark record (repo root).
@@ -465,7 +466,7 @@ def write_record(
             if baseline and name in baseline and baseline[name]["rate"] > 0
         },
     }
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record
 
 
@@ -486,7 +487,7 @@ def append_history(directory: Path, record: dict) -> Path:
     while path.exists():
         path = directory / f"BENCH_{stamp}_{suffix}.json"
         suffix += 1
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -87,6 +87,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "campaign":
+        return _cmd_campaign(parser, args)
     parser.print_help()
     return 2
 
@@ -227,6 +229,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "written record under DIR, accumulating a perf trajectory "
         "(write runs only; incompatible with the read-only --check)",
     )
+    campaign = sub.add_parser(
+        "campaign",
+        help="run multi-scenario campaigns with durable, resumable results",
+        description=(
+            "Run many scenario sweeps as one named unit into a durable "
+            "directory (spec + provenance, per-scenario exports, integrity "
+            "manifest, fsync'd checkpoint journal, generated report). "
+            "A killed campaign resumes from its journal; verify re-checks "
+            "every artifact hash. See docs/campaigns.md."
+        ),
+    )
+    camp_sub = campaign.add_subparsers(dest="campaign_command")
+    camp_run = camp_sub.add_parser(
+        "run", help="execute a campaign spec file into a directory"
+    )
+    camp_run.add_argument(
+        "spec", type=Path, metavar="SPEC.json",
+        help="campaign spec file (name + jobs; see docs/campaigns.md)",
+    )
+    camp_run.add_argument(
+        "--dir", type=Path, required=True, dest="directory", metavar="DIR",
+        help="campaign directory (created; re-running over the same "
+        "directory requires an unchanged spec)",
+    )
+    camp_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override every job's worker count for this invocation",
+    )
+    camp_resume = camp_sub.add_parser(
+        "resume",
+        help="complete the missing/failed scenarios of a killed campaign",
+    )
+    camp_resume.add_argument("directory", type=Path, metavar="DIR")
+    camp_resume.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override every job's worker count for this invocation",
+    )
+    camp_verify = camp_sub.add_parser(
+        "verify",
+        help="re-check every tracked artifact hash; quarantine corruption",
+    )
+    camp_verify.add_argument("directory", type=Path, metavar="DIR")
+    camp_verify.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report corruption without moving files aside",
+    )
+    camp_report = camp_sub.add_parser(
+        "report", help="regenerate report.md from the on-disk state and print it"
+    )
+    camp_report.add_argument("directory", type=Path, metavar="DIR")
     return parser
 
 
@@ -573,6 +625,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.history is not None:
         snapshot = bench_mod.append_history(args.history, record)
         print(f"[history snapshot: {snapshot}]")
+    return 0
+
+
+def _cmd_campaign(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        Campaign,
+        CampaignError,
+        load_spec,
+        resume_campaign,
+        verify_campaign,
+        write_report,
+    )
+
+    command = getattr(args, "campaign_command", None)
+    if command is None:
+        parser.parse_args(["campaign", "--help"])
+        return 2
+
+    try:
+        if command == "run":
+            spec = load_spec(args.spec)
+            run = Campaign.from_spec(spec).run(
+                args.directory, workers=args.workers,
+            )
+        elif command == "resume":
+            run = resume_campaign(args.directory, workers=args.workers)
+        elif command == "verify":
+            report = verify_campaign(
+                args.directory, quarantine=not args.no_quarantine,
+            )
+            print(report.summary())
+            return 0 if report.ok else 1
+        else:  # report
+            print(write_report(args.directory), end="")
+            return 0
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(run.summary())
+    degraded = [o for o in run.outcomes.values() if o.status != "ok"]
+    if degraded:
+        print(
+            f"{len(degraded)} of {len(run.outcomes)} jobs degraded "
+            f"(see {run.report_path}); "
+            f"`campaign resume {run.directory}` retries failed jobs",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -60,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 __all__ = [
+    "CAMPAIGN_CHECKPOINT_SCOPE",
     "CorruptRecord",
     "FAULTS_ENV",
     "FaultPlan",
@@ -76,6 +77,18 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 #: The fault kinds :meth:`FaultSpec.__post_init__` accepts.
 KINDS = ("raise", "hang", "exit", "corrupt")
+
+#: Pseudo-scenario name under which the campaign runner consults the
+#: fault plan before every journal checkpoint.  A chaos plan that sets
+#: ``"scenario": "campaign.checkpoint"`` targets the *orchestrator*
+#: (params: ``{"name": <job or "report">, "seq": <checkpoint number>}``)
+#: instead of sweep cells: ``exit`` hard-kills the campaign process at
+#: that checkpoint, ``raise`` surfaces :class:`InjectedFault` from
+#: ``Campaign.run``, ``hang`` stalls it, and ``corrupt`` makes the
+#: journal write a torn garbage line before the real entry.  Rules
+#: without a scenario selector match both planes — scope chaos plans
+#: explicitly when that is not intended.
+CAMPAIGN_CHECKPOINT_SCOPE = "campaign.checkpoint"
 
 
 class InjectedFault(RuntimeError):

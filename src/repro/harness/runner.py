@@ -104,6 +104,8 @@ from typing import (
     Tuple,
 )
 
+from repro.ioutil import atomic_write_bytes
+
 from repro.harness import faults as faults_mod
 from repro.harness.pool import ResilientPool, TaskOutcome
 from repro.harness.registry import get_scenario
@@ -396,12 +398,11 @@ class SweepCache:
         return record
 
     def store(self, record: RunRecord) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(record.scenario, record.params)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(record, fh)
-        tmp.replace(path)  # atomic even with concurrent sweeps
+        # atomic even with concurrent sweeps; fsync=False because a
+        # power-cut-lost entry is merely a cache miss, and the memo is
+        # written once per cell on the sweep hot path
+        atomic_write_bytes(path, pickle.dumps(record), fsync=False)
 
 
 class SqliteSweepCache:
@@ -415,6 +416,11 @@ class SqliteSweepCache:
     run, never corrupt the store.  A row whose payload fails to decode
     is quarantined (moved to a ``quarantine`` table) and treated as a
     miss, with one :class:`CorruptCacheWarning` per process.
+
+    Under heavy multi-process contention sqlite can still surface
+    ``OperationalError: database is locked`` past its own busy wait;
+    every cache operation retries those with bounded exponential
+    backoff (:data:`LOCK_RETRIES` attempts) before giving up.
     """
 
     _SCHEMA = (
@@ -436,9 +442,38 @@ class SqliteSweepCache:
         " quarantined REAL NOT NULL)"
     )
 
-    def __init__(self, path: Path):
+    #: Attempts per cache operation when sqlite reports the database
+    #: locked/busy; backoff doubles from LOCK_BACKOFF up to LOCK_BACKOFF_MAX.
+    LOCK_RETRIES = 6
+    LOCK_BACKOFF = 0.025
+    LOCK_BACKOFF_MAX = 0.4
+
+    def __init__(self, path: Path, *, timeout: float = 30.0):
         self.path = Path(path)
+        self.timeout = float(timeout)
         self._schema_ready = False
+
+    @staticmethod
+    def _is_locked(exc: BaseException) -> bool:
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _with_lock_retry(self, operation: Callable[[], Any]) -> Any:
+        """Run one cache operation, retrying transient lock errors.
+
+        Only ``sqlite3.OperationalError`` whose message names a
+        locked/busy database is retried; anything else (corrupt file,
+        bad schema, missing permissions) propagates immediately.
+        """
+        delay = self.LOCK_BACKOFF
+        for attempt in range(self.LOCK_RETRIES):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                if not self._is_locked(exc) or attempt == self.LOCK_RETRIES - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, self.LOCK_BACKOFF_MAX)
 
     @contextlib.contextmanager
     def _connect(self):
@@ -450,7 +485,7 @@ class SqliteSweepCache:
         if not self._schema_ready and self.path.parent:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         with contextlib.closing(
-            sqlite3.connect(self.path, timeout=30.0)
+            sqlite3.connect(self.path, timeout=self.timeout)
         ) as conn:
             if not self._schema_ready:
                 conn.execute(self._SCHEMA)
@@ -467,7 +502,7 @@ class SqliteSweepCache:
         return cache_key(scenario, params)
 
     def _quarantine(self, key: str, exc: Exception) -> None:
-        try:
+        def _move_aside() -> None:
             with self._connect() as conn:
                 conn.execute(self._QUARANTINE_SCHEMA)
                 conn.execute(
@@ -477,20 +512,28 @@ class SqliteSweepCache:
                     (time.time(), key),
                 )
                 conn.execute("DELETE FROM results WHERE key = ?", (key,))
+
+        try:
+            self._with_lock_retry(_move_aside)
         except Exception:
             return  # cannot move it aside; stay a silent miss
         _warn_quarantine(f"{self.path} key {key[:12]}…", exc)
 
     def load(self, scenario: str, params: Mapping[str, Any]) -> Optional[RunRecord]:
         key = cache_key(scenario, params)
-        try:
+
+        def _select():
             with self._connect() as conn:
-                row = conn.execute(
+                return conn.execute(
                     "SELECT payload FROM results WHERE key = ?", (key,)
                 ).fetchone()
+
+        try:
+            row = self._with_lock_retry(_select)
         except Exception:
-            # unreadable file (locked db, bad permissions) is a plain
-            # miss to recompute — nothing to quarantine
+            # still unreadable after the lock retries (bad permissions,
+            # persistent lock) is a plain miss to recompute — nothing
+            # to quarantine
             return None
         if row is None:
             return None
@@ -509,19 +552,24 @@ class SqliteSweepCache:
         return record
 
     def store(self, record: RunRecord) -> None:
-        with self._connect() as conn:
-            conn.execute(
-                "INSERT OR REPLACE INTO results "
-                "(key, scenario, params_json, created, payload) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    cache_key(record.scenario, record.params),
-                    record.scenario,
-                    json.dumps(record.params, sort_keys=True, default=repr),
-                    time.time(),
-                    pickle.dumps(record),
-                ),
-            )
+        row = (
+            cache_key(record.scenario, record.params),
+            record.scenario,
+            json.dumps(record.params, sort_keys=True, default=repr),
+            time.time(),
+            pickle.dumps(record),
+        )
+
+        def _insert() -> None:
+            with self._connect() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(key, scenario, params_json, created, payload) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    row,
+                )
+
+        self._with_lock_retry(_insert)
 
 
 def make_cache(cache_dir: Optional[Path]):
@@ -637,6 +685,13 @@ class SweepManifest:
     def _append(self, entry: Mapping[str, Any]) -> None:
         self._fh.write(json.dumps(entry, sort_keys=True, default=repr) + "\n")
         self._fh.flush()
+        # fsync per entry: a hard-killed (or power-cut) orchestrator
+        # loses at most the in-flight line, which the resume loader
+        # already tolerates as a torn final line
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:
+            pass
 
     def record(self, index: int, status: str, error: str = "") -> None:
         """Journal one completed cell (flushed immediately)."""
@@ -657,6 +712,11 @@ class SweepManifest:
         }
 
     def close(self) -> None:
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except Exception:
+            pass
         try:
             self._fh.close()
         except Exception:

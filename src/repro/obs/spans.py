@@ -57,7 +57,8 @@ class SpanWriter:
     """
 
     def __init__(self, path: Optional[str] = None,
-                 header: Optional[Dict[str, Any]] = None):
+                 header: Optional[Dict[str, Any]] = None,
+                 *, append: bool = False):
         self.path = str(path) if path is not None else None
         self.events: List[Dict[str, Any]] = []
         self._t0 = perf_counter()
@@ -66,7 +67,10 @@ class SpanWriter:
             parent = os.path.dirname(self.path)
             if parent:
                 os.makedirs(parent, exist_ok=True)
-            self._fh = open(self.path, "w", encoding="utf-8")
+            # append=True continues an earlier invocation's journal
+            # (campaign resume) instead of truncating it
+            self._fh = open(self.path, "a" if append else "w",
+                            encoding="utf-8")
         if header is not None:
             self.emit({"event": "sweep", **header})
 
@@ -83,6 +87,11 @@ class SpanWriter:
 
     def close(self) -> None:
         if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass
             self._fh.close()
             self._fh = None
 

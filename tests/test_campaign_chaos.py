@@ -1,0 +1,215 @@
+"""Kill-the-orchestrator chaos for the campaign layer.
+
+The resume contract says the campaign process may die at ANY instant —
+between scenarios, after artifacts are published but before their
+checkpoint lands, while hung inside a checkpoint — and ``resume`` must
+complete exactly the missing work with byte-identical tracked
+artifacts.  These tests prove it with real process death: ``exit``
+faults (``os._exit(13)``) at every one of the five campaign
+checkpoints (four jobs + the report), plus a genuine ``SIGKILL`` while
+the orchestrator is hung at a checkpoint.
+
+All kills happen in subprocesses — an in-process ``os._exit`` would
+take pytest down with it.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+# Written to disk and run as the campaign process.  Four tiny jobs over
+# the same probe scenario (distinct scales so every job's artifacts
+# differ), so the checkpoint sequence is: seq 1-4 = jobs, seq 5 = report.
+CAMP_DRIVER = '''
+import dataclasses, json, random, sys
+
+from repro.api import Experiment
+from repro.campaign import Campaign
+from repro.harness.registry import register
+from repro.harness.result import ScenarioResult
+
+
+@dataclasses.dataclass
+class CampResult(ScenarioResult):
+    value: float
+
+
+@register("camp_probe", grid={"seed": (0, 1)})
+def camp_probe(seed: int = 0, scale: float = 1.0) -> CampResult:
+    """Deterministic probe for campaign chaos tests."""
+    return CampResult(value=round(random.Random(seed).random() * scale, 6))
+
+
+def build():
+    campaign = Campaign("chaos")
+    for i, scale in enumerate((1.0, 2.0, 3.0, 4.0)):
+        campaign.add(
+            f"job{i}",
+            Experiment("camp_probe").sweep(seed=(0, 1)).configure(scale=scale),
+        )
+    return campaign
+
+
+mode, directory = sys.argv[1], sys.argv[2]
+run = build().run(directory, resume=(mode == "resume"))
+print(json.dumps({
+    name: {"status": o.status, "restored": o.restored}
+    for name, o in run.outcomes.items()
+}), flush=True)
+'''
+
+N_JOBS = 4
+N_CHECKPOINTS = N_JOBS + 1  # + the report
+
+
+def driver_env(extra=None):
+    env = {**os.environ,
+           "PYTHONPATH": str(Path("src").resolve()),
+           "PYTHONUNBUFFERED": "1"}
+    env.pop("REPRO_FAULTS", None)  # never inherit ambient chaos
+    if extra:
+        env.update(extra)
+    return env
+
+
+def run_driver(script, mode, directory, *, env=None, check=True):
+    proc = subprocess.run(
+        [sys.executable, str(script), mode, str(directory)],
+        env=env or driver_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, timeout=120,
+    )
+    if check:
+        assert proc.returncode == 0, proc.stdout
+    return proc
+
+
+def tracked_bytes(directory):
+    """``{relpath: bytes}`` of every manifest-tracked artifact."""
+    manifest = json.loads((Path(directory) / "MANIFEST.json").read_text())
+    return {
+        rel: (Path(directory) / rel).read_bytes()
+        for rel in manifest["artifacts"]
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted run: the byte-identity oracle for every kill."""
+    base = tmp_path_factory.mktemp("campaign_chaos")
+    script = base / "camp_driver.py"
+    script.write_text(CAMP_DRIVER)
+    ref_dir = base / "ref"
+    proc = run_driver(script, "run", ref_dir)
+    payload = json.loads(proc.stdout.splitlines()[-1])
+    assert all(o["status"] == "ok" for o in payload.values())
+    return script, ref_dir
+
+
+class TestKillAnywhereResume:
+    @pytest.mark.parametrize("seq", range(1, N_CHECKPOINTS + 1))
+    def test_exit_fault_at_every_checkpoint(self, tmp_path, reference, seq):
+        """os._exit at checkpoint ``seq``: the artifacts for that step
+        are already durable but its journal entry never lands — the
+        adversarial instant.  Resume completes and every tracked
+        artifact is byte-identical to the uninterrupted reference."""
+        script, ref_dir = reference
+        directory = tmp_path / "camp"
+        plan = json.dumps([{
+            "kind": "exit", "scenario": "campaign.checkpoint",
+            "match": {"seq": seq},
+        }])
+        killed = run_driver(
+            script, "run", directory,
+            env=driver_env({"REPRO_FAULTS": plan}), check=False,
+        )
+        assert killed.returncode == 13, killed.stdout
+
+        # the journal holds exactly the checkpoints that completed
+        from repro.campaign import CampaignJournal
+
+        state = CampaignJournal.read(directory / "journal.jsonl")
+        assert len(state["scenarios"]) == min(seq - 1, N_JOBS)
+        assert not state["report_done"]
+
+        resumed = run_driver(script, "resume", directory)
+        payload = json.loads(resumed.stdout.splitlines()[-1])
+        assert all(o["status"] == "ok" for o in payload.values())
+        n_restored = sum(1 for o in payload.values() if o["restored"])
+        assert n_restored == min(seq - 1, N_JOBS)
+        assert tracked_bytes(directory) == tracked_bytes(ref_dir)
+
+    def test_sigkill_while_hung_at_a_checkpoint(self, tmp_path, reference):
+        """A genuine SIGKILL (no cleanup, no atexit, no flush beyond
+        what already hit disk) against an orchestrator hung at the
+        third checkpoint."""
+        script, ref_dir = reference
+        directory = tmp_path / "camp"
+        journal = directory / "journal.jsonl"
+        plan = json.dumps([{
+            "kind": "hang", "scenario": "campaign.checkpoint",
+            "match": {"seq": 3}, "seconds": 120,
+        }])
+        proc = subprocess.Popen(
+            [sys.executable, str(script), "run", str(directory)],
+            env=driver_env({"REPRO_FAULTS": plan}),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            # wait until the first two checkpoints are journaled (header
+            # + 2 entries) — the process is then hanging inside seq 3
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if journal.exists() and len(
+                    journal.read_text().splitlines()
+                ) >= 3:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("campaign never journaled its first two jobs")
+            time.sleep(0.2)  # let the fsync land, then no mercy
+            proc.send_signal(signal.SIGKILL)
+            proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == -signal.SIGKILL
+
+        resumed = run_driver(script, "resume", directory)
+        payload = json.loads(resumed.stdout.splitlines()[-1])
+        assert all(o["status"] == "ok" for o in payload.values())
+        assert payload["job0"]["restored"] and payload["job1"]["restored"]
+        assert not payload["job2"]["restored"]  # hung before its checkpoint
+        assert tracked_bytes(directory) == tracked_bytes(ref_dir)
+
+    def test_verify_passes_after_every_resume(self, tmp_path, reference):
+        """End-to-end integrity: kill, resume, then ``campaign verify``
+        (the CLI, exit code and all) over the healed directory."""
+        script, ref_dir = reference
+        directory = tmp_path / "camp"
+        plan = json.dumps([{
+            "kind": "exit", "scenario": "campaign.checkpoint",
+            "match": {"seq": 2},
+        }])
+        killed = run_driver(
+            script, "run", directory,
+            env=driver_env({"REPRO_FAULTS": plan}), check=False,
+        )
+        assert killed.returncode == 13
+        run_driver(script, "resume", directory)
+        verify = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.harness.cli import main; "
+             "sys.exit(main(sys.argv[1:]))",
+             "campaign", "verify", str(directory)],
+            env=driver_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True, timeout=60,
+        )
+        assert verify.returncode == 0, verify.stdout
+        assert "intact" in verify.stdout

@@ -690,6 +690,66 @@ class TestManifestResume:
             random.Random(s).random() for s in range(4)
         )
 
+    def test_sigkill_mid_sweep_leaves_valid_manifest_and_resumes(
+            self, tmp_path):
+        # SIGKILL gives the runner NO chance to clean up: whatever the
+        # manifest holds is whatever was flushed+fsync'd per entry.  It
+        # must still parse (torn final line at worst) and --resume must
+        # complete the sweep with byte-identical values.
+        script = tmp_path / "sweep_script.py"
+        script.write_text(SIGTERM_SCRIPT)
+        cache = tmp_path / "memo"
+        env = {**os.environ,
+               "PYTHONPATH": str(Path("src").resolve()),
+               "PYTHONUNBUFFERED": "1"}
+        # the first invocation's output is irrelevant and capturing it
+        # would leave orphaned workers holding the pipe open
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(cache), "first"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                manifests = list(cache.glob("*.manifest.jsonl"))
+                if manifests and len(
+                    manifests[0].read_text().splitlines()
+                ) >= 3:  # header + 2 fast cells journaled
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("sweep never journaled its fast cells")
+            proc.kill()  # SIGKILL, not SIGTERM: no handler runs
+            proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == -signal.SIGKILL
+        # every durable manifest line parses; the completed cells are ok
+        (manifest_path,) = cache.glob("*.manifest.jsonl")
+        lines = manifest_path.read_text().splitlines()
+        entries = []
+        for line in lines[1:]:
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                assert line is lines[-1]  # only the final line may tear
+        done = {e["i"] for e in entries if e.get("status") == "ok"}
+        assert {0, 1} <= done and len(done) < 4
+        # resume completes only the remaining cells, byte-identically
+        out = subprocess.run(
+            [sys.executable, str(script), str(cache), "resume"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, timeout=120, check=True,
+        ).stdout
+        payload = json.loads(out.splitlines()[-1])
+        assert payload["ok"] == 4
+        assert payload["cached"] >= len(done)
+        assert payload["values"] == sorted(
+            random.Random(s).random() for s in range(4)
+        )
+
 
 SIGTERM_SCRIPT = '''
 import dataclasses, json, os, sys, time, random
