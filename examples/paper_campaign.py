@@ -1,18 +1,27 @@
-"""Regenerate the paper's T1 + F1 tables through one crash-safe Campaign.
+"""Regenerate every committed paper table through one crash-safe Campaign.
 
-The campaign layer runs both sweeps as one named unit under a single
-durable directory: spec + provenance, per-job results/tables, an
-integrity manifest and a markdown report.  Kill this script at any
-instant and re-run it with ``--resume`` — it completes exactly the
-missing work and the artifacts come out byte-identical (the final diff
-against the committed ``benchmarks/results/`` tables proves it).
+The campaign layer runs all twelve sweeps — T1–T6, A1, F1–F5 — as one
+named unit under a single durable directory: spec + provenance,
+per-job results/tables, an integrity manifest and a markdown report.
+Kill this script at any instant and re-run it with ``--resume`` — it
+completes exactly the missing work and the artifacts come out
+byte-identical (the final diff against the committed
+``benchmarks/results/`` tables proves it).
+
+Each job replicates its benchmark suite's exact sweep configuration
+and table formatting (``benchmarks/test_t1 .. test_f5``), so the
+produced ``table.txt`` files must match the committed tables byte for
+byte.
 
 Usage::
 
     PYTHONPATH=src python examples/paper_campaign.py [--dir DIR] [--resume]
+    PYTHONPATH=src python examples/paper_campaign.py --jobs t1,f1
 
-The full sweeps take a few minutes; interrupting and resuming is the
-point, not a failure mode.
+The full campaign takes tens of minutes; interrupting and resuming is
+the point, not a failure mode.  ``--jobs`` runs a subset (note a
+subset is a *different* campaign identity, so point it at its own
+``--dir``).
 """
 
 import argparse
@@ -21,6 +30,8 @@ from pathlib import Path
 
 from repro.api import Experiment, ResultSet
 from repro.campaign import Campaign, verify_campaign
+from repro.core.profile import ReliabilityMode
+from repro.harness.experiments.negotiation_matrix import NEGOTIATION_PAIRS
 from repro.harness.tables import format_table
 
 REPO = Path(__file__).resolve().parent.parent
@@ -28,9 +39,31 @@ COMMITTED = REPO / "benchmarks" / "results"
 
 T1_TARGETS = (2e6, 4e6, 6e6, 8e6)
 T1_PROTOCOLS = ("tcp", "tfrc", "gtfrc", "qtpaf")
+T2_ACCESS_DELAYS = (0.002, 0.03, 0.06, 0.1)  # one-way; RTT ~= 4x + 40 ms
+T2_PROTOCOLS = ("tcp", "qtpaf")
+T3_PROFILES = ("tfrc", "qtplight", "qtpaf")
+T3_LOSS_RATES = (0.0, 0.02, 0.05)
+T5_MODES = (
+    ReliabilityMode.NONE,
+    ReliabilityMode.PARTIAL_TIME,
+    ReliabilityMode.PARTIAL_COUNT,
+    ReliabilityMode.FULL,
+)
+A1_TARGET = 6e6
+A1_VARIANTS = ("floor", "p-scaling", "none")
 F1_SEEDS = (0, 1, 2)
+F2_LOSS_RATES = (0.005, 0.01, 0.02, 0.05, 0.08)
+F3_LOSS_RATES = (0.005, 0.01, 0.02, 0.04, 0.08)
+F4_N_TCP = (1, 2, 4, 8, 16)
+F5_TARGET = 5e6
+F5_STEP_TIME = 20.0
+F5_PROTOCOLS = ("tfrc", "gtfrc")
 
 
+# ----------------------------------------------------------------------
+# table renderers — one per job, formatting identical to the benchmark
+# suite that committed the table
+# ----------------------------------------------------------------------
 def t1_table(results: ResultSet) -> str:
     rows = []
     for target in T1_TARGETS:
@@ -54,6 +87,118 @@ def t1_table(results: ResultSet) -> str:
     )
 
 
+def t2_table(results: ResultSet) -> str:
+    rows = []
+    for delay in T2_ACCESS_DELAYS:
+        rtt_ms = (2 * (delay + 0.002) + 2 * 0.02) * 1e3
+        row = [f"{rtt_ms:.0f}"]
+        for proto in T2_PROTOCOLS:
+            row.append(
+                results.value("ratio", assured_access_delay=delay, protocol=proto)
+            )
+        rows.append(row)
+    return format_table(
+        ["assured RTT (ms)", "tcp ratio", "qtpaf ratio"],
+        rows,
+        title="T2: achieved/negotiated vs assured-flow RTT (g = 5 Mb/s)",
+    )
+
+
+def t3_table(results: ResultSet) -> str:
+    rows = []
+    for name in ("TFRC", "QTPlight", "QTPAF"):
+        for loss in T3_LOSS_RATES:
+            r = results.one(profile_name=name, loss_rate=loss)
+            rows.append([
+                name,
+                f"{loss * 100:.0f}%",
+                r.packets,
+                r.rx_ops_per_packet,
+                r.rx_peak_bytes,
+                r.tx_estimator_ops_per_packet,
+                r.feedback_sent,
+            ])
+    return format_table(
+        ["profile", "loss", "pkts", "rx ops/pkt", "rx peak B",
+         "tx est ops/pkt", "reports"],
+        rows,
+        title="T3: receiver processing/memory load by composition",
+    )
+
+
+def t4_table(results: ResultSet) -> str:
+    rows = []
+    for mode in ("tfrc", "qtplight"):
+        honest = results.one(mode=mode, lying=False)
+        lying = results.one(mode=mode, lying=True)
+        rows.append([
+            mode,
+            honest.cheater_bps / 1e6,
+            lying.cheater_bps / 1e6,
+            lying.cheater_bps / max(honest.cheater_bps, 1.0),
+            honest.victim_bps / 1e6,
+            lying.victim_bps / 1e6,
+        ])
+    return format_table(
+        ["estimation", "cheater honest (Mb/s)", "cheater lying (Mb/s)",
+         "lying gain", "victim (honest run)", "victim (lying run)"],
+        rows,
+        title="T4: selfish-receiver attack, 4 Mb/s bottleneck shared "
+              "with one honest TFRC",
+    )
+
+
+def t5_table(results: ResultSet) -> str:
+    rows = []
+    for mode in T5_MODES:
+        r = results.one(mode=mode.value)
+        rows.append([
+            r.mode,
+            r.sent,
+            r.delivered,
+            r.skipped,
+            r.retransmissions,
+            r.abandoned,
+            r.on_time_ratio,
+            r.useful_ratio,
+            r.mean_latency * 1e3,
+            r.p95_latency * 1e3,
+        ])
+    return format_table(
+        ["mode", "sent", "delivered", "skipped", "retx", "abandoned",
+         "on-time", "useful", "mean lat (ms)", "p95 lat (ms)"],
+        rows,
+        title="T5: media stream (25 fps, 280 ms playout) over a 3% lossy "
+              "link, by reliability mode",
+    )
+
+
+def t6_table(results: ResultSet) -> str:
+    rows = [
+        [r.pair, r.instance, r.congestion_control, r.reliability, r.estimation]
+        for r in results.results
+    ]
+    return format_table(
+        ["endpoints", "instance", "cc", "reliability", "estimation"],
+        rows,
+        title="T6: negotiated instance per capability pair",
+    )
+
+
+def a1_table(results: ResultSet) -> str:
+    rows = []
+    for v in A1_VARIANTS:
+        r = results.one(variant=v)
+        rows.append(
+            [v, r.achieved_bps / 1e6, r.achieved_bps / A1_TARGET, r.floor_hits]
+        )
+    return format_table(
+        ["variant", "achieved (Mb/s)", "ratio", "floor activations"],
+        rows,
+        title="A1: gTFRC mechanism ablation (g = 6 Mb/s, T1 conditions)",
+    )
+
+
 def f1_table(results: ResultSet) -> str:
     rows = []
     for proto in ("tfrc", "tcp"):
@@ -71,28 +216,203 @@ def f1_table(results: ResultSet) -> str:
     )
 
 
-def build_campaign(workers) -> Campaign:
-    return (
-        Campaign("paper")
-        .add(
-            "t1",
+def f2_table(results: ResultSet) -> str:
+    rows = []
+    for loss in F2_LOSS_RATES:
+        tcp_b = results.value("goodput_bps", loss_rate=loss, protocol="tcp", bursty=True)
+        tfrc_b = results.value("goodput_bps", loss_rate=loss, protocol="tfrc", bursty=True)
+        tcp_u = results.value("goodput_bps", loss_rate=loss, protocol="tcp", bursty=False)
+        tfrc_u = results.value("goodput_bps", loss_rate=loss, protocol="tfrc", bursty=False)
+        rows.append([
+            f"{loss * 100:.1f}%",
+            tcp_b / 1e3,
+            tfrc_b / 1e3,
+            tfrc_b / max(tcp_b, 1e3),
+            tcp_u / 1e3,
+            tfrc_u / 1e3,
+        ])
+    return format_table(
+        ["loss", "tcp bursty (kb/s)", "tfrc bursty (kb/s)",
+         "tfrc/tcp (bursty)", "tcp iid (kb/s)", "tfrc iid (kb/s)"],
+        rows,
+        title="F2: goodput over a 3-hop 2 Mb/s chain with per-hop loss",
+    )
+
+
+def f3_table(results: ResultSet) -> str:
+    rows = []
+    for loss in F3_LOSS_RATES:
+        r = results.one(loss_rate=loss)
+        rows.append([
+            f"{loss * 100:.1f}%",
+            r.mean_p_shadow,
+            r.mean_p_sender,
+            r.mean_abs_rel_error,
+            r.goodput_bps / 1e3,
+        ])
+    return format_table(
+        ["channel loss", "p receiver-side", "p sender-side",
+         "mean |rel err|", "goodput (kb/s)"],
+        rows,
+        title="F3: QTPlight sender-side loss-event rate vs shadow "
+              "RFC 3448 receiver estimate",
+    )
+
+
+def f4_table(results: ResultSet) -> str:
+    rows = []
+    for n in F4_N_TCP:
+        r = results.one(n_tcp=n)
+        rows.append(
+            [n, r.tfrc_bps / 1e6, r.tcp_mean_bps / 1e6, r.normalized, r.jain]
+        )
+    return format_table(
+        ["n tcp", "tfrc (Mb/s)", "tcp mean (Mb/s)", "normalized", "jain"],
+        rows,
+        title="F4: one TFRC vs N TCP on an 8 Mb/s RED bottleneck",
+    )
+
+
+def f5_table(results: ResultSet) -> str:
+    rows = []
+    for proto in F5_PROTOCOLS:
+        r = results.one(protocol=proto)
+        rows.append([
+            proto,
+            r.min_after_step / 1e6,
+            r.time_below_90pct,
+            r.mean_after_step / 1e6,
+        ])
+    return format_table(
+        ["protocol", "min rate after step (Mb/s)",
+         "seconds below 0.9 g", "mean after step (Mb/s)"],
+        rows,
+        title=f"F5: congestion step at t={F5_STEP_TIME:.0f}s, g = 5 Mb/s "
+              "(8 TCP join)",
+    )
+
+
+# ----------------------------------------------------------------------
+# the campaign: every job replicates its benchmark suite's sweep
+# ----------------------------------------------------------------------
+#: job name -> (Experiment factory, table renderer, committed table file)
+def _jobs(workers):
+    return {
+        "t1": (
             Experiment("af_assurance")
             .sweep(target_bps=T1_TARGETS, protocol=T1_PROTOCOLS)
             .configure(n_cross=8, assured_access_delay=0.1,
                        duration=40.0, warmup=10.0, seed=3)
             .workers(workers),
-            table=t1_table,
-        )
-        .add(
-            "f1",
+            t1_table,
+            "t1_af_assurance.txt",
+        ),
+        "t2": (
+            Experiment("af_assurance")
+            .sweep(assured_access_delay=T2_ACCESS_DELAYS, protocol=T2_PROTOCOLS)
+            .configure(target_bps=5e6, n_cross=8,
+                       duration=40.0, warmup=10.0, seed=3)
+            .workers(workers),
+            t2_table,
+            "t2_rtt_asymmetry.txt",
+        ),
+        "t3": (
+            Experiment("receiver_load")
+            .sweep(profile=T3_PROFILES, loss_rate=T3_LOSS_RATES)
+            .configure(duration=30.0, seed=2)
+            .workers(workers),
+            t3_table,
+            "t3_receiver_load.txt",
+        ),
+        "t4": (
+            Experiment("selfish_receiver")
+            .sweep(mode=("tfrc", "qtplight"), lying=(False, True))
+            .configure(duration=60.0, warmup=15.0, seed=2)
+            .workers(workers),
+            t4_table,
+            "t4_selfish_receiver.txt",
+        ),
+        "t5": (
+            Experiment("reliability_modes")
+            .sweep(mode=tuple(m.value for m in T5_MODES))
+            .configure(duration=60.0, seed=2)
+            .workers(workers),
+            t5_table,
+            "t5_reliability_modes.txt",
+        ),
+        "t6": (
+            Experiment("negotiation")
+            .sweep(pair=NEGOTIATION_PAIRS)
+            .workers(workers),
+            t6_table,
+            "t6_negotiation.txt",
+        ),
+        "a1": (
+            Experiment("gtfrc_ablation")
+            .sweep(variant=A1_VARIANTS)
+            .configure(target_bps=A1_TARGET, seed=3)
+            .workers(workers),
+            a1_table,
+            "a1_gtfrc_ablation.txt",
+        ),
+        "f1": (
             Experiment("smoothness")
             .sweep(protocol=("tfrc", "tcp"))
             .configure(duration=80, warmup=20)
             .seeds(F1_SEEDS)
             .workers(workers),
-            table=f1_table,
+            f1_table,
+            "f1_smoothness.txt",
+        ),
+        "f2": (
+            Experiment("lossy_path")
+            .sweep(loss_rate=F2_LOSS_RATES, protocol=("tcp", "tfrc"),
+                   bursty=(True, False))
+            .configure(n_hops=3, duration=40.0, warmup=10.0, seed=2)
+            .workers(workers),
+            f2_table,
+            "f2_wireless.txt",
+        ),
+        "f3": (
+            Experiment("estimation_accuracy")
+            .sweep(loss_rate=F3_LOSS_RATES)
+            .configure(duration=50.0, warmup=10.0, seed=2)
+            .workers(workers),
+            f3_table,
+            "f3_estimation_accuracy.txt",
+        ),
+        "f4": (
+            Experiment("friendliness")
+            .sweep(n_tcp=F4_N_TCP)
+            .configure(duration=60.0, warmup=15.0, seed=2)
+            .workers(workers),
+            f4_table,
+            "f4_friendliness.txt",
+        ),
+        "f5": (
+            Experiment("convergence")
+            .sweep(protocol=F5_PROTOCOLS)
+            .configure(target_bps=F5_TARGET, step_time=F5_STEP_TIME, seed=3)
+            .workers(workers),
+            f5_table,
+            "f5_convergence.txt",
+        ),
+    }
+
+
+def build_campaign(workers, jobs=None) -> Campaign:
+    catalog = _jobs(workers)
+    selected = list(catalog) if jobs is None else list(jobs)
+    unknown = sorted(set(selected) - set(catalog))
+    if unknown:
+        raise SystemExit(
+            f"unknown job(s) {unknown}; available: {', '.join(catalog)}"
         )
-    )
+    campaign = Campaign("paper")
+    for name in selected:
+        experiment, table, _ = catalog[name]
+        campaign.add(name, experiment, table=table)
+    return campaign
 
 
 def main(argv=None) -> int:
@@ -103,9 +423,13 @@ def main(argv=None) -> int:
                         help="complete a previously interrupted run")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes per sweep (0 = one per CPU)")
+    parser.add_argument("--jobs", type=str, default=None,
+                        help="comma-separated subset (default: all twelve); "
+                        "a subset is a different campaign — use its own --dir")
     args = parser.parse_args(argv)
+    jobs = args.jobs.split(",") if args.jobs else None
 
-    run = build_campaign(args.workers).run(args.dir, resume=args.resume)
+    run = build_campaign(args.workers, jobs).run(args.dir, resume=args.resume)
     print(run.summary())
     print(f"report: {run.report_path}")
 
@@ -114,8 +438,9 @@ def main(argv=None) -> int:
 
     # the regenerated tables must match the committed paper tables
     status = 0 if run.ok and integrity.ok else 1
-    for job, committed in (("t1", "t1_af_assurance.txt"),
-                           ("f1", "f1_smoothness.txt")):
+    catalog = _jobs(args.workers)
+    for job in (jobs if jobs is not None else list(catalog)):
+        committed = catalog[job][2]
         produced = args.dir / "scenarios" / job / "table.txt"
         expected = COMMITTED / committed
         if produced.read_bytes() == expected.read_bytes():

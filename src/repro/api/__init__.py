@@ -39,7 +39,7 @@ benchmark table suites are built on the same two classes.
 """
 
 from repro.api.experiment import Experiment
-from repro.api.resultset import ResultSet
+from repro.api.resultset import ResultSet, UnknownMetricError
 from repro.harness.result import (
     MappingResult,
     RunFailure,
@@ -53,5 +53,6 @@ __all__ = [
     "ResultSet",
     "RunFailure",
     "ScenarioResult",
+    "UnknownMetricError",
     "coerce_result",
 ]

@@ -62,7 +62,33 @@ from repro.metrics.stats import mean as _mean
 from repro.metrics.stats import percentile as _percentile
 from repro.metrics.stats import stddev as _stddev
 
-__all__ = ["ResultSet"]
+__all__ = ["ResultSet", "UnknownMetricError"]
+
+
+class UnknownMetricError(KeyError):
+    """A requested metric is not part of the scenario's declared contract.
+
+    Raised by :meth:`ResultSet.value` and :meth:`ResultSet.aggregate`
+    instead of a bare ``KeyError`` so the caller sees *which* metric
+    was asked for and what the scenario actually declares — a typo in
+    a benchmark script fails with the contract in hand, not with
+    ``KeyError: 'ratio'``.  Subclasses ``KeyError`` so existing
+    ``except KeyError`` call sites keep working.
+    """
+
+    def __init__(self, metric: str, known: Sequence[str], scenario: str = ""):
+        where = f" of scenario {scenario!r}" if scenario else ""
+        message = (
+            f"unknown metric {metric!r}: not in the declared "
+            f"contract{where}; known metrics: {sorted(known)}"
+        )
+        super().__init__(message)
+        self.metric = metric
+        self.known = sorted(known)
+        self.scenario = scenario
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
 
 #: Named statistics understood by :meth:`ResultSet.aggregate`; ``pNN``
 #: strings (``p50``, ``p95``, ...) are resolved dynamically.
@@ -345,13 +371,18 @@ class ResultSet:
         return self._result(self._single(query))
 
     def value(self, metric: str, **query: Any) -> Any:
-        """One metric of the single run matching ``query``."""
-        metrics = self._metrics_of(self._single(query))
+        """One metric of the single run matching ``query``.
+
+        Raises :class:`UnknownMetricError` (a ``KeyError``) naming the
+        run's declared metrics when ``metric`` is not one of them.
+        """
+        record = self._single(query)
+        metrics = self._metrics_of(record)
         try:
             return metrics[metric]
         except KeyError:
-            raise KeyError(
-                f"unknown metric {metric!r}; known: {sorted(metrics)}"
+            raise UnknownMetricError(
+                metric, list(metrics), record.scenario
             ) from None
 
     def group_by(self, *keys: str) -> Dict[Any, "ResultSet"]:
@@ -428,10 +459,8 @@ class ResultSet:
                 values = []
                 for row in rows:
                     if name not in row:
-                        raise KeyError(
-                            f"metric {name!r} missing from a "
-                            f"{records[0].scenario!r} run; "
-                            f"known: {sorted(rows[0])}"
+                        raise UnknownMetricError(
+                            name, list(rows[0]), records[0].scenario
                         )
                     values.append(row[name])
                 for stat, fn in stat_fns:

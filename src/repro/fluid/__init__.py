@@ -1,0 +1,55 @@
+"""Hybrid-fidelity simulation: fluid background traffic (PR 10).
+
+``repro.fluid`` injects *aggregate* background load at queues instead
+of simulating each background flow's packets, so a scenario keeps its
+few foreground AF/gTFRC flows packet-level against a modeled
+background of thousands of users — the population scales packet-level
+simulation cannot reach at any constant factor.
+
+Module map
+----------
+:mod:`repro.fluid.specs`
+    :class:`BackgroundLoadSpec` — frozen offered-load models
+    (``constant`` rate, ``mmpp`` two-state Markov-modulated bursts,
+    ``population`` profiles derived from generated flow populations),
+    kind/parameter cross-validated like every other spec.
+:mod:`repro.fluid.source`
+    :class:`FluidSource` — the engine component: one event per epoch
+    updates a conservative fluid backlog and couples it into the
+    packet world via virtual RED/RIO occupancy and foreground service
+    share.  ``REPRO_NO_FLUID=1`` disables compilation entirely
+    (byte-identical foreground-only runs, mirroring ``REPRO_NO_POOL``).
+:mod:`repro.fluid.derive`
+    :func:`background_from_population` (``PopulationSpec`` → profile
+    via the population's own samplers) and :func:`hybridize`
+    (``ScenarioSpec`` → packet-level foreground + fluid background on
+    the bottlenecks).
+
+Quickstart::
+
+    from repro.fluid import hybridize
+    hybrid = hybridize(spec, population, seed=0)   # same spec, hybrid
+    # ... build(sim, hybrid) runs foreground packet-level only
+
+Validation: the "fluid" goldens section pins hybrid runs bit-exactly,
+and ``tests/test_fluid_equivalence.py`` holds hybrid vs packet-level
+foreground metrics within documented tolerance bands on populations
+small enough to run both ways.  See ``docs/hybrid.md``.
+"""
+
+from repro.fluid.derive import (  # noqa: F401
+    background_from_population,
+    background_from_population_flows,
+    hybridize,
+)
+from repro.fluid.source import FluidSource  # noqa: F401
+from repro.fluid.specs import BACKGROUND_KINDS, BackgroundLoadSpec  # noqa: F401
+
+__all__ = [
+    "BACKGROUND_KINDS",
+    "BackgroundLoadSpec",
+    "FluidSource",
+    "background_from_population",
+    "background_from_population_flows",
+    "hybridize",
+]

@@ -1,0 +1,279 @@
+"""The fluid background-traffic engine component.
+
+A :class:`FluidSource` realizes one
+:class:`~repro.fluid.specs.BackgroundLoadSpec` at one link direction.
+Instead of generating background packets, it runs a small fluid model
+once per *epoch* (an ordinary event scheduled through the simulator, so
+goldens pin it like everything else) and couples the aggregate into the
+packet-level world through two levers:
+
+1. **Queue occupancy** — the fluid backlog is converted to a virtual
+   packet count (``queue.fluid_pkts``) that RED/RIO admission adds to
+   the physical queue length.  For RIO only the *total* average rises
+   (background is out-of-profile cross traffic), so in-profile GREEN
+   foreground keeps exactly the protection the AF PHB gives it in a
+   packet-level run, while out-of-profile foreground sees the
+   aggressive out-curve — the paper's assurance mechanism, reproduced
+   in fluid.
+2. **Service capacity** — the link rate seen by foreground
+   serialization is reduced by the background's *served* share of the
+   previous epoch (never below ``min_foreground_share``), which models
+   FIFO interleaving delay without per-packet cost.
+
+Accounting is conservative by construction: every offered byte is
+served, dropped (policed by the queue's own out-profile curve, or
+virtual-buffer overflow), queued in the backlog, or — for *elastic*
+aggregates — pending retransmission at the senders —
+``tests/test_fluid_source.py`` pins the invariant with Hypothesis.
+
+The epoch update mirrors a real queue's admit-then-serve order::
+
+    capacity = base_rate * dt / 8          # bytes the wire moved
+    foreground = Δ link.stats.tx_bytes     # bytes foreground actually used
+    residual = max(0, capacity - foreground)
+    demand   = offered + pending           # pending > 0 only if elastic
+    p        = out-curve(physical qlen + backlog)   # RIO/RED policing
+    admitted = min(demand * (1 - p), buffer-space + residual)
+    refused  = demand - admitted           # -> pending (elastic) or dropped
+    served   = min(residual, backlog + admitted)
+    backlog += admitted - served
+
+Policing matters: in a packet-level run the discipline drops
+out-of-profile *background* arrivals first, which is what keeps an
+8 Mb/s background aggregate from taking 8 Mb/s of a 10 Mb/s link away
+from an assured foreground.  The fluid model applies the same curve to
+the aggregate, and additionally floors the foreground's service share
+at ``min_foreground_share`` — :func:`repro.fluid.derive.hybridize`
+derives that floor from the foreground's committed AF rates, enforcing
+in one line the protection per-packet RIO provides statistically.
+
+The closed loop emerges: if foreground takes capacity, the background
+backlog grows, inflating the queue averages, dropping (out-of-profile)
+foreground until congestion control yields — and vice versa.
+
+Determinism: the only randomness is the MMPP state transition, one
+draw per epoch from ``sim.rng(spec.rng_stream)`` (the named-stream
+discipline shared with queues and channels).  With ``REPRO_NO_FLUID=1``
+the compiler skips FluidSource construction entirely — zero extra
+events, zero extra RNG draws, byte-identical foreground-only runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.fluid.specs import BackgroundLoadSpec
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+class FluidSource:
+    """Aggregate background load injected at one link's queue.
+
+    Constructed by :func:`repro.topo.build.build` (in pinned order)
+    from a spec's ``background`` field; the first epoch event is
+    scheduled at construction, so nothing before ``sim.run()`` draws
+    randomness and tie-breaking stays pinned.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        spec: BackgroundLoadSpec,
+        name: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.queue = link.queue
+        self.spec = spec
+        self.name = name or f"fluid:{link.name}"
+        self.base_rate_bps = link.rate_bps
+        # virtual buffer: explicit override, else what the discipline
+        # would let out-of-profile traffic occupy before dropping it
+        if spec.buffer_packets is not None:
+            buffer_pkts = spec.buffer_packets
+        else:
+            queue = link.queue
+            buffer_pkts = getattr(
+                queue,
+                "out_max_th",
+                getattr(queue, "max_th", None),
+            )
+            if buffer_pkts is None:
+                buffer_pkts = queue.capacity_packets or 0
+        self.buffer_bytes = float(buffer_pkts) * spec.mean_pkt_bytes
+        # the discipline's out-of-profile drop curve polices the
+        # aggregate exactly as it would police background packets
+        queue = link.queue
+        if hasattr(queue, "out_min_th"):  # RIO: the out-profile curve
+            self._curve = (queue.out_min_th, queue.out_max_th, queue.out_max_p)
+        elif hasattr(queue, "min_th"):  # RED: the single curve
+            self._curve = (queue.min_th, queue.max_th, queue.max_p)
+        else:  # DropTail: buffer bound only
+            self._curve = None
+        # MMPP is the only stochastic kind; other kinds must not touch
+        # (or even create) the stream
+        self._rng = sim.rng(spec.rng_stream) if spec.kind == "mmpp" else None
+        self._mmpp_high = False
+        self._profile_idx = 0
+        self._rate_bps = self._initial_rate()
+        self.backlog_bytes = 0.0
+        self.pending_bytes = 0.0  # elastic: refused demand awaiting retry
+        self.offered_bytes = 0.0
+        self.served_bytes = 0.0
+        self.dropped_bytes = 0.0
+        self.peak_backlog_bytes = 0.0
+        self.epochs = 0
+        self.active = True
+        self._last_now: Optional[float] = None
+        self._last_tx = link.stats.tx_bytes
+        sim.schedule(spec.start, self._on_epoch)
+
+    # ------------------------------------------------------------------
+    def _initial_rate(self) -> float:
+        spec = self.spec
+        if spec.kind == "constant":
+            return spec.rate_bps
+        if spec.kind == "mmpp":  # dwell starts in the low state, pinned
+            return spec.rate_low_bps or 0.0
+        profile = spec.profile
+        return profile[0] * 8.0 / spec.epoch if profile else 0.0
+
+    def _advance_rate(self, dt: float) -> float:
+        """Rate for the *next* epoch (draw order is part of the contract)."""
+        spec = self.spec
+        if spec.kind == "constant":
+            return spec.rate_bps
+        if spec.kind == "mmpp":
+            # exactly one draw per epoch regardless of state, so the
+            # stream position is a function of epoch count alone
+            dwell = spec.mean_high_s if self._mmpp_high else spec.mean_low_s
+            if self._rng.random() < 1.0 - math.exp(-dt / dwell):
+                self._mmpp_high = not self._mmpp_high
+            if self._mmpp_high:
+                return spec.rate_high_bps
+            return spec.rate_low_bps or 0.0
+        self._profile_idx += 1
+        profile = spec.profile
+        if self._profile_idx >= len(profile):
+            return 0.0
+        return profile[self._profile_idx] * 8.0 / spec.epoch
+
+    # ------------------------------------------------------------------
+    def _on_epoch(self) -> None:
+        sim = self.sim
+        now = sim.now
+        spec = self.spec
+        if self._last_now is None:
+            # installation epoch: start the accounting clock; modulation
+            # begins once one epoch of foreground service was observed
+            self._last_now = now
+            self._last_tx = self.link.stats.tx_bytes
+            sim.schedule(spec.epoch, self._on_epoch)
+            return
+        dt = now - self._last_now
+        self._last_now = now
+        link = self.link
+        capacity = self.base_rate_bps * dt / 8.0
+        tx = link.stats.tx_bytes
+        foreground = tx - self._last_tx
+        self._last_tx = tx
+        residual = capacity - foreground
+        if residual < 0.0:
+            residual = 0.0
+        offered = self._rate_bps * dt / 8.0
+        # demand this epoch: fresh arrivals plus (elastic only) demand
+        # the queue refused earlier and the senders are retrying
+        demand = offered + self.pending_bytes
+        # 1. admission: the out-profile curve on (physical + virtual)
+        # occupancy, then the buffer/service bound — arrivals a real
+        # queue would never have enqueued do not enter the backlog
+        admitted = demand
+        if self._curve is not None and demand > 0.0:
+            min_th, max_th, max_p = self._curve
+            v = len(self.queue) + self.backlog_bytes / spec.mean_pkt_bytes
+            if v >= max_th:
+                p_b = 1.0
+            elif v <= min_th:
+                p_b = 0.0
+            else:
+                p_b = max_p * (v - min_th) / (max_th - min_th)
+            admitted = demand * (1.0 - p_b)
+        room = (self.buffer_bytes - self.backlog_bytes) + residual
+        if admitted > room:
+            admitted = room if room > 0.0 else 0.0
+        # refused demand: an unresponsive aggregate loses it for good, a
+        # closed-loop (TCP-like) aggregate retransmits until served
+        if spec.elastic:
+            self.pending_bytes = demand - admitted
+        else:
+            self.dropped_bytes += demand - admitted
+            self.pending_bytes = 0.0
+        # 2. service from the admitted backlog
+        available = self.backlog_bytes + admitted
+        served = available if available < residual else residual
+        backlog = available - served
+        self.backlog_bytes = backlog
+        self.offered_bytes += offered
+        self.served_bytes += served
+        if backlog > self.peak_backlog_bytes:
+            self.peak_backlog_bytes = backlog
+        self.epochs += 1
+        # -- advance the offered-rate process, then decide whether the
+        # source is done (stop time reached, or profile exhausted with
+        # nothing left to drain)
+        self._rate_bps = self._advance_rate(dt)
+        exhausted = (
+            spec.kind == "population"
+            and self._profile_idx >= len(spec.profile)
+            and backlog <= 0.0
+            and self.pending_bytes <= 0.0
+        )
+        if (spec.stop is not None and now >= spec.stop) or exhausted:
+            self._uninstall()
+            return
+        # -- modulate for the next epoch
+        self.queue.fluid_pkts = int(backlog / spec.mean_pkt_bytes + 0.5)
+        floor = self.base_rate_bps * spec.min_foreground_share
+        if spec.elastic:
+            # a closed-loop aggregate claims capacity by *demand*: it
+            # keeps pushing (and retransmitting) until served, so the
+            # foreground only keeps what the claim leaves — never less
+            # than its guaranteed floor
+            claim = (
+                self._rate_bps
+                + (backlog + self.pending_bytes) * 8.0 / dt
+            )
+        else:
+            # an open-loop aggregate only consumed what was served
+            claim = served * 8.0 / dt
+        shared = self.base_rate_bps - claim
+        link.rate_bps = shared if shared > floor else floor
+        sim.schedule(spec.epoch, self._on_epoch)
+
+    def _uninstall(self) -> None:
+        """Restore the packet-level world exactly as it was."""
+        self.queue.fluid_pkts = 0
+        self.link.rate_bps = self.base_rate_bps
+        self.active = False
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Aggregate counters (bytes offered/served/dropped, backlog)."""
+        return {
+            "offered_bytes": self.offered_bytes,
+            "served_bytes": self.served_bytes,
+            "dropped_bytes": self.dropped_bytes,
+            "backlog_bytes": self.backlog_bytes,
+            "pending_bytes": self.pending_bytes,
+            "peak_backlog_bytes": self.peak_backlog_bytes,
+            "epochs": float(self.epochs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FluidSource({self.name}, kind={self.spec.kind!r}, "
+            f"backlog={self.backlog_bytes:.0f}B, epochs={self.epochs})"
+        )

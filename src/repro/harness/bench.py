@@ -377,6 +377,38 @@ def _bench_population_1000() -> float:
     return 1.0
 
 
+def _bench_population_100k_hybrid() -> float:
+    """Macro: a 100,000-flow crowd at hybrid fidelity (PR 10).
+
+    The ``hybrid_flash_crowd`` scenario with the crowd fluidized: the
+    population is still expanded flow by flow (100k arrival/size/endpoint
+    draws), but its bytes run through one :class:`repro.fluid.FluidSource`
+    per bottleneck instead of 100k packet transports, so the event count
+    stays bounded by the foreground plus the epoch clock.  Paired with
+    ``population_1000`` (full packet fidelity) this pins the scale
+    argument for hybrid runs: 100x the population for a few times the
+    wall clock.  ``benchmarks/test_p3_hybrid_scale`` records the
+    comparison as a table.
+    """
+    from repro.harness.registry import get_scenario
+
+    spec = get_scenario("hybrid_flash_crowd")
+    spec.fn(
+        fidelity="hybrid",
+        n_flows=100_000,
+        n_hosts=64,
+        base_rate_per_s=2000.0,
+        peak_rate_per_s=30000.0,
+        ramp_start=1.0,
+        ramp_duration=2.0,
+        bottleneck_bps=2e9,
+        target_bps=40e6,
+        duration=6.0,
+        seed=1,
+    )
+    return 1.0
+
+
 @dataclass(frozen=True)
 class BenchSpec:
     """One pinned benchmark: a callable returning work units done."""
@@ -401,6 +433,12 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("sweep_fault_overhead", _bench_sweep_fault_overhead, "runs/s"),
     BenchSpec("obs_overhead", _bench_obs_overhead, "runs/s"),
     BenchSpec("population_1000", _bench_population_1000, "runs/s", repeats=1),
+    BenchSpec(
+        "population_100k_hybrid",
+        _bench_population_100k_hybrid,
+        "runs/s",
+        repeats=1,
+    ),
 ]
 
 
@@ -507,6 +545,15 @@ def check_regression(
     for name, metrics in committed_metrics.items():
         if name not in fresh:
             failures.append(f"{name}: missing from fresh run")
+            continue
+        # a hand-edited or truncated record must fail loudly, not with
+        # an AttributeError deep in the comparison
+        if not isinstance(metrics, dict) or "rate" not in metrics:
+            failures.append(
+                f"{name}: committed record entry is malformed "
+                f"(expected a metrics object with a 'rate'); "
+                f"re-run `bench` to rewrite the record"
+            )
             continue
         committed_rate = metrics.get("rate", 0.0)
         fresh_rate = fresh[name]["rate"]
@@ -624,21 +671,36 @@ def topo_trace_probe(
 ) -> Dict[str, object]:
     """Fingerprint one of the PR 3 spec-built scenarios, miniaturized.
 
-    Small fixed parameterizations of the three new workloads
-    (``parking_lot``, ``reverse_path_chain``, ``hetero_sla``), each
-    distilled to the exact counters of :func:`_network_fingerprint` —
-    the goldens pin them so later PRs can refactor the specs and the
-    compiler safely.
+    Small fixed parameterizations of the three PR 3 workloads
+    (``parking_lot``, ``reverse_path_chain``, ``hetero_sla``) plus the
+    PR 10 seeded ``random_star`` generator, each distilled to the exact
+    counters of :func:`_network_fingerprint` — the goldens pin them so
+    later PRs can refactor the specs and the compiler safely.
     """
     from repro.topo import (
+        FlowSpec,
+        ScenarioSpec,
         build,
         hetero_sla_dumbbell_spec,
         parking_lot_spec,
+        random_access_star_spec,
         reverse_path_chain_spec,
     )
 
     sim = Simulator(seed=seed)
-    if scenario == "parking_lot":
+    if scenario == "random_star":
+        # the PR 10 seeded generator: heterogeneous sampled access
+        # links; pinning the run pins the sampled rates/delays too
+        spec = ScenarioSpec(
+            name="random_star_probe",
+            topology=random_access_star_spec(6, seed=3),
+            flows=tuple(
+                FlowSpec(f"f{i}", f"h{i}", "srv", transport="tcp")
+                for i in range(3)
+            ),
+        )
+        bottlenecks = [("gw", "srv")]
+    elif scenario == "parking_lot":
         spec = parking_lot_spec("qtpaf", 4e6, n_cross_a=2, n_cross_b=2,
                                 cross_record=True)
         bottlenecks = [("r0", "r1"), ("r1", "r2")]
@@ -699,6 +761,107 @@ def traffic_trace_probe(
     return fingerprint
 
 
+def fluid_trace_probe(
+    scenario: str, seed: int = 0, duration: float = 6.0
+) -> Dict[str, object]:
+    """Fingerprint one of the PR 10 hybrid-fidelity scenarios.
+
+    The two ``hybrid_*`` probes run the miniature traffic-probe
+    parameterizations through :func:`repro.fluid.hybridize` — the
+    foreground counters pin the packet side, the background counters
+    (exact ``repr`` floats) pin the fluid epoch model, admission curve
+    and elastic retry accounting.  ``mmpp_dumbbell`` pins the
+    Markov-modulated kind and its one-draw-per-epoch RNG-stream
+    discipline on the shared T1 dumbbell.
+    """
+    from dataclasses import replace
+
+    from repro.fluid import BackgroundLoadSpec, hybridize
+    from repro.harness.experiments.flash_crowd import (
+        flash_crowd_population,
+        flash_crowd_spec,
+    )
+    from repro.harness.experiments.mice_elephants import (
+        mice_elephants_population,
+        mice_elephants_spec,
+    )
+    from repro.metrics.fluid import background_summary
+    from repro.topo import build, t1_dumbbell_spec
+
+    sim = Simulator(seed=seed)
+    if scenario == "hybrid_flash_crowd":
+        spec = flash_crowd_spec(
+            "gtfrc", 4e6, n_hosts=10, n_flows=24, duration=duration, seed=seed
+        )
+        population = flash_crowd_population(
+            n_hosts=10, n_flows=24, duration=duration
+        )
+        spec = hybridize(
+            spec, population, seed=seed, per_flow_rate_bps=500e3
+        )
+        bottlenecks = [("gw", "srv")]
+    elif scenario == "hybrid_mice_elephants":
+        spec = mice_elephants_spec(
+            "qtpaf",
+            2e6,
+            n_hosts=12,
+            n_flows=30,
+            arrival_rate_per_s=8.0,
+            duration=duration,
+            seed=seed,
+        )
+        population = mice_elephants_population(
+            "qtpaf",
+            2e6,
+            n_hosts=12,
+            n_flows=30,
+            arrival_rate_per_s=8.0,
+            duration=duration,
+        )
+        spec = hybridize(
+            spec,
+            population,
+            seed=seed,
+            background_classes=("mice",),
+            per_flow_rate_bps=500e3,
+        )
+        bottlenecks = [("gw", "srv")]
+    elif scenario == "mmpp_dumbbell":
+        spec = t1_dumbbell_spec("gtfrc", 4e6, n_cross=2)
+        background = BackgroundLoadSpec(
+            kind="mmpp",
+            rate_low_bps=1e6,
+            rate_high_bps=8e6,
+            mean_low_s=0.5,
+            mean_high_s=0.3,
+            min_foreground_share=0.4,
+        )
+        links = tuple(
+            replace(ls, background=background) if ls.queue.kind == "rio" else ls
+            for ls in spec.topology.links
+        )
+        spec = replace(spec, topology=replace(spec.topology, links=links))
+        bottlenecks = [("left", "right")]
+    else:
+        raise ValueError(f"unknown fluid probe scenario {scenario!r}")
+    built = build(sim, spec)
+    sim.run(until=duration)
+    fingerprint = _network_fingerprint(sim, built, bottlenecks)
+    fingerprint["flows"] = len(built.spec.flows)
+    bg = background_summary(built.fluid_sources.values())
+    fingerprint["background"] = {
+        "sources": bg.sources,
+        "epochs": bg.epochs,
+        "offered_bytes": repr(bg.offered_bytes),
+        "served_bytes": repr(bg.served_bytes),
+        "dropped_bytes": repr(bg.dropped_bytes),
+        "backlog_bytes": repr(bg.backlog_bytes),
+        "pending_bytes": repr(bg.pending_bytes),
+        "peak_backlog_bytes": repr(bg.peak_backlog_bytes),
+    }
+    return fingerprint
+
+
 #: The (seed, protocol) grid fingerprinted by the golden tests.
 TRACE_PROBE_GRID = (
     ("qtpaf", 0),
@@ -708,10 +871,22 @@ TRACE_PROBE_GRID = (
 )
 
 #: The PR 3 spec-built scenarios fingerprinted by the golden tests.
-TOPO_PROBE_SCENARIOS = ("parking_lot", "reverse_path_chain", "hetero_sla")
+TOPO_PROBE_SCENARIOS = (
+    "parking_lot",
+    "reverse_path_chain",
+    "hetero_sla",
+    "random_star",
+)
 
 #: The PR 6 generated-population scenarios fingerprinted by the goldens.
 TRAFFIC_PROBE_SCENARIOS = ("flash_crowd", "mice_elephants")
+
+#: The PR 10 hybrid-fidelity scenarios fingerprinted by the goldens.
+FLUID_PROBE_SCENARIOS = (
+    "hybrid_flash_crowd",
+    "hybrid_mice_elephants",
+    "mmpp_dumbbell",
+)
 
 
 def capture_goldens() -> Dict[str, object]:
@@ -729,5 +904,8 @@ def capture_goldens() -> Dict[str, object]:
         },
         "traffic": {
             name: traffic_trace_probe(name) for name in TRAFFIC_PROBE_SCENARIOS
+        },
+        "fluid": {
+            name: fluid_trace_probe(name) for name in FLUID_PROBE_SCENARIOS
         },
     }

@@ -573,6 +573,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: no committed record at {path} to check against",
               file=sys.stderr)
         return 2
+    if args.check:
+        current = (committed.get("current") or {}).get("metrics")
+        if not isinstance(current, dict) or not current:
+            print(f"error: record at {path} has no current-metrics section "
+                  "to check against (malformed or truncated record); "
+                  "re-run `bench` to rewrite it", file=sys.stderr)
+            return 2
     print(f"running pinned perf suite ({len(bench_mod.BENCHMARKS)} benchmarks)...")
     fresh = bench_mod.run_suite(repeats=args.repeats)
     baseline = (

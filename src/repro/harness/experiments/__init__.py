@@ -28,8 +28,16 @@ from repro.harness.experiments.estimation import (  # noqa: F401
 from repro.harness.experiments.flash_crowd import (  # noqa: F401
     FLASH_CROWD_PROTOCOLS,
     FlashCrowdResult,
+    flash_crowd_population,
     flash_crowd_scenario,
     flash_crowd_spec,
+)
+from repro.harness.experiments.hybrid import (  # noqa: F401
+    FIDELITIES,
+    HybridFlashCrowdResult,
+    HybridMiceElephantsResult,
+    hybrid_flash_crowd_scenario,
+    hybrid_mice_elephants_scenario,
 )
 from repro.harness.experiments.friendliness import (  # noqa: F401
     FriendlinessResult,
@@ -47,6 +55,7 @@ from repro.harness.experiments.lossy_path import (  # noqa: F401
 from repro.harness.experiments.mice_elephants import (  # noqa: F401
     MICE_ELEPHANTS_PROTOCOLS,
     MiceElephantsResult,
+    mice_elephants_population,
     mice_elephants_scenario,
     mice_elephants_spec,
 )

@@ -32,6 +32,49 @@ from repro.traffic import (
 FLASH_CROWD_PROTOCOLS = ("tfrc", "gtfrc", "qtpaf")
 
 
+def flash_crowd_population(
+    *,
+    n_hosts: int = 24,
+    n_flows: int = 80,
+    base_rate_per_s: float = 2.0,
+    peak_rate_per_s: float = 40.0,
+    ramp_start: float = 2.0,
+    ramp_duration: float = 2.0,
+    mouse_min_kbytes: float = 8.0,
+    mouse_max_kbytes: float = 200.0,
+    duration: float = 12.0,
+) -> PopulationSpec:
+    """The crowd population, shared by the packet-level spec and the
+    hybrid scenario (``repro.fluid.hybridize`` needs the same spec the
+    expansion came from)."""
+    return PopulationSpec(
+        name="crowd",
+        arrival=ArrivalSpec(
+            kind="flash_crowd",
+            base_rate_per_s=base_rate_per_s,
+            peak_rate_per_s=peak_rate_per_s,
+            ramp_start=ramp_start,
+            ramp_duration=ramp_duration,
+        ),
+        classes=(
+            FlowClassSpec(
+                "mouse",
+                1.0,
+                "tcp",
+                SizeSpec(
+                    kind="pareto",
+                    alpha=1.3,
+                    min_bytes=int(mouse_min_kbytes * 1000),
+                    max_bytes=int(mouse_max_kbytes * 1000),
+                ),
+            ),
+        ),
+        endpoints=access_star_endpoints(n_hosts)[1:],  # h0 is the elephant's
+        n_flows=n_flows,
+        horizon=duration,
+    )
+
+
 def flash_crowd_spec(
     protocol: str,
     target_bps: float,
@@ -75,31 +118,16 @@ def flash_crowd_spec(
     assured = FlowSpec(
         "assured", "h0", "srv", transport=protocol, target_bps=target_bps
     )
-    population = PopulationSpec(
-        name="crowd",
-        arrival=ArrivalSpec(
-            kind="flash_crowd",
-            base_rate_per_s=base_rate_per_s,
-            peak_rate_per_s=peak_rate_per_s,
-            ramp_start=ramp_start,
-            ramp_duration=ramp_duration,
-        ),
-        classes=(
-            FlowClassSpec(
-                "mouse",
-                1.0,
-                "tcp",
-                SizeSpec(
-                    kind="pareto",
-                    alpha=1.3,
-                    min_bytes=int(mouse_min_kbytes * 1000),
-                    max_bytes=int(mouse_max_kbytes * 1000),
-                ),
-            ),
-        ),
-        endpoints=access_star_endpoints(n_hosts)[1:],  # h0 is the elephant's
+    population = flash_crowd_population(
+        n_hosts=n_hosts,
         n_flows=n_flows,
-        horizon=duration,
+        base_rate_per_s=base_rate_per_s,
+        peak_rate_per_s=peak_rate_per_s,
+        ramp_start=ramp_start,
+        ramp_duration=ramp_duration,
+        mouse_min_kbytes=mouse_min_kbytes,
+        mouse_max_kbytes=mouse_max_kbytes,
+        duration=duration,
     )
     flows = (assured,) + expand_population(population, seed)
     return ScenarioSpec(

@@ -33,6 +33,52 @@ from repro.traffic import (
 MICE_ELEPHANTS_PROTOCOLS = ("gtfrc", "qtpaf")
 
 
+def mice_elephants_population(
+    protocol: str,
+    target_bps: float,
+    *,
+    n_hosts: int = 32,
+    n_flows: int = 150,
+    arrival_rate_per_s: float = 20.0,
+    elephant_share: float = 0.1,
+    mouse_alpha: float = 1.3,
+    mouse_min_kbytes: float = 4.0,
+    mouse_max_kbytes: float = 120.0,
+    elephant_kbytes: float = 1500.0,
+    duration: float = 15.0,
+) -> PopulationSpec:
+    """The two-class population, shared by the packet-level spec and the
+    hybrid scenario (``repro.fluid.hybridize`` needs the same spec the
+    expansion came from)."""
+    return PopulationSpec(
+        name="mix",
+        arrival=ArrivalSpec(kind="poisson", rate_per_s=arrival_rate_per_s),
+        classes=(
+            FlowClassSpec(
+                "mice",
+                1.0 - elephant_share,
+                "tcp",
+                SizeSpec(
+                    kind="pareto",
+                    alpha=mouse_alpha,
+                    min_bytes=int(mouse_min_kbytes * 1000),
+                    max_bytes=int(mouse_max_kbytes * 1000),
+                ),
+            ),
+            FlowClassSpec(
+                "elephant",
+                elephant_share,
+                protocol,
+                SizeSpec(kind="fixed", size_bytes=int(elephant_kbytes * 1000)),
+                target_bps=target_bps,
+            ),
+        ),
+        endpoints=access_star_endpoints(n_hosts),
+        n_flows=n_flows,
+        horizon=duration,
+    )
+
+
 def mice_elephants_spec(
     protocol: str,
     target_bps: float,
@@ -60,32 +106,18 @@ def mice_elephants_spec(
     if protocol not in MICE_ELEPHANTS_PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}")
     topology = access_star_spec(n_hosts, bottleneck_bps=bottleneck_bps)
-    population = PopulationSpec(
-        name="mix",
-        arrival=ArrivalSpec(kind="poisson", rate_per_s=arrival_rate_per_s),
-        classes=(
-            FlowClassSpec(
-                "mice",
-                1.0 - elephant_share,
-                "tcp",
-                SizeSpec(
-                    kind="pareto",
-                    alpha=mouse_alpha,
-                    min_bytes=int(mouse_min_kbytes * 1000),
-                    max_bytes=int(mouse_max_kbytes * 1000),
-                ),
-            ),
-            FlowClassSpec(
-                "elephant",
-                elephant_share,
-                protocol,
-                SizeSpec(kind="fixed", size_bytes=int(elephant_kbytes * 1000)),
-                target_bps=target_bps,
-            ),
-        ),
-        endpoints=access_star_endpoints(n_hosts),
+    population = mice_elephants_population(
+        protocol,
+        target_bps,
+        n_hosts=n_hosts,
         n_flows=n_flows,
-        horizon=duration,
+        arrival_rate_per_s=arrival_rate_per_s,
+        elephant_share=elephant_share,
+        mouse_alpha=mouse_alpha,
+        mouse_min_kbytes=mouse_min_kbytes,
+        mouse_max_kbytes=mouse_max_kbytes,
+        elephant_kbytes=elephant_kbytes,
+        duration=duration,
     )
     flows = expand_population(population, seed)
     return ScenarioSpec(

@@ -7,11 +7,14 @@
 * :mod:`repro.metrics.recorder` — per-flow delivery recording agents
   hook into;
 * :mod:`repro.metrics.fct` — flow-completion-time records and
-  summaries for finite (byte-budgeted) flow populations.
+  summaries for finite (byte-budgeted) flow populations;
+* :mod:`repro.metrics.fluid` — aggregate background-traffic summaries
+  for hybrid-fidelity runs (:mod:`repro.fluid`).
 """
 
 from repro.metrics.cost import CostMeter
 from repro.metrics.fct import FctSummary, FlowCompletion, fct_summary
+from repro.metrics.fluid import BackgroundSummary, background_summary
 from repro.metrics.recorder import FlowRecorder
 from repro.metrics.stats import (
     coefficient_of_variation,
@@ -21,10 +24,12 @@ from repro.metrics.stats import (
 )
 
 __all__ = [
+    "BackgroundSummary",
     "CostMeter",
     "FctSummary",
     "FlowCompletion",
     "FlowRecorder",
+    "background_summary",
     "fct_summary",
     "throughput_series",
     "coefficient_of_variation",

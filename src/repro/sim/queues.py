@@ -113,6 +113,7 @@ class DropTailQueue:
         self.capacity_bytes = capacity_bytes
         self._items: Deque[Packet] = deque()
         self._bytes = 0
+        self.fluid_pkts = 0  # virtual backlog (repro.fluid), 0 = none
         self.stats = QueueStats()
 
     def enqueue(self, packet: Packet, now: float) -> bool:
@@ -120,11 +121,15 @@ class DropTailQueue:
 
         The admission test is inlined (no helper call) — this runs
         once per packet per access link, so an extra call frame showed
-        up in the T1 profile.
+        up in the T1 profile.  ``fluid_pkts`` is the virtual occupancy
+        a :class:`repro.fluid.source.FluidSource` maintains; it stays
+        ``0`` unless a background spec is compiled, in which case the
+        fluid backlog competes for buffer space exactly like queued
+        packets (adding 0 keeps the arithmetic bit-identical).
         """
         if (
             self.capacity_packets is not None
-            and len(self._items) >= self.capacity_packets
+            and len(self._items) + self.fluid_pkts >= self.capacity_packets
         ) or (
             self.capacity_bytes is not None
             and self._bytes + packet.size > self.capacity_bytes
@@ -203,6 +208,7 @@ class RedQueue:
         self._rng = rng or random.Random(0xDECAF)
         self._items: Deque[Packet] = deque()
         self._bytes = 0
+        self.fluid_pkts = 0  # virtual backlog (repro.fluid), 0 = none
         self.avg = 0.0
         self._count = -1  # packets since last drop, RED "count" variable
         self._idle_since: Optional[float] = 0.0
@@ -216,9 +222,12 @@ class RedQueue:
         are the ``_update_avg``/``_drop_probability``/``_early_drop``
         helpers inlined (identical arithmetic and RNG draw order): this
         method runs once per bottleneck arrival, where three extra call
-        frames per packet are measurable.
+        frames per packet are measurable.  ``fluid_pkts`` (virtual
+        background occupancy, :mod:`repro.fluid`) rides on the physical
+        length so average, curve and tail-drop all see the aggregate;
+        adding 0 keeps the arithmetic bit-identical without background.
         """
-        q = len(self._items)
+        q = len(self._items) + self.fluid_pkts
         weight = self.weight
         if q == 0 and self._idle_since is not None:
             # decay over the idle period
@@ -266,7 +275,7 @@ class RedQueue:
         packet = self._items.popleft()
         self._bytes -= packet.size
         self.stats.dequeued += 1
-        if not self._items:
+        if not self._items and not self.fluid_pkts:
             self._idle_since = now
         return packet
 
@@ -316,6 +325,7 @@ class RioQueue:
         self._rng = rng or random.Random(0x510)
         self._items: Deque[Packet] = deque()
         self._bytes = 0
+        self.fluid_pkts = 0  # virtual backlog (repro.fluid), 0 = none
         self._in_count_q = 0  # in-profile packets currently queued
         self.avg_in = 0.0
         self.avg_total = 0.0
@@ -332,9 +342,18 @@ class RioQueue:
         reference helper formulation): this method runs once per
         bottleneck arrival in every AF experiment, where the helper
         call frames were a measurable share of the T1 profile.
+
+        ``fluid_pkts`` (virtual background occupancy,
+        :mod:`repro.fluid`) joins the *total* queue length only:
+        aggregate background is out-of-profile cross traffic, so it
+        inflates ``avg_total`` (the aggressive out-curve) and the
+        tail-drop test while ``avg_in`` — the in-profile GREEN
+        protection the AF assurance rests on — stays driven purely by
+        physically queued in-profile packets.  Adding 0 keeps the
+        arithmetic bit-identical when no background is compiled.
         """
         in_profile = packet.color is Color.GREEN
-        q_total = len(self._items)
+        q_total = len(self._items) + self.fluid_pkts
         weight = self.weight
         # -- averages: idle decay or per-precedence EWMA
         if q_total == 0 and self._idle_since is not None:
@@ -409,7 +428,7 @@ class RioQueue:
         if packet.color is Color.GREEN:
             self._in_count_q -= 1
         self.stats.dequeued += 1
-        if not items:
+        if not items and not self.fluid_pkts:
             self._idle_since = now
         return packet
 

@@ -52,6 +52,7 @@ from repro.topo.generators import (  # noqa: F401
     fat_tree_spec,
     isp_chain_endpoints,
     isp_chain_spec,
+    random_access_star_spec,
 )
 from repro.topo.presets import (  # noqa: F401
     hetero_sla_dumbbell_spec,
@@ -91,6 +92,7 @@ __all__ = [
     "isp_chain_spec",
     "lossy_chain_spec",
     "parking_lot_spec",
+    "random_access_star_spec",
     "reverse_path_chain_spec",
     "t1_dumbbell_spec",
 ]

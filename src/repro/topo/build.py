@@ -14,7 +14,15 @@ benchmark tables fingerprint it (see
    named :meth:`~repro.sim.engine.Simulator.rng` stream
    (``QueueSpec.rng_stream`` / ``ChannelSpec.rng_stream``), which is
    memoized per name, so every element sharing a stream name shares
-   one deterministic sequence.
+   one deterministic sequence.  A link with fluid background
+   (``LinkSpec.background`` overriding ``QueueSpec.background``)
+   compiles its :class:`~repro.fluid.source.FluidSource` **after both
+   directions of that link**, forward direction then reverse — the
+   source schedules its first epoch event here, so fluid events are
+   tie-broken before every flow-start event.  ``REPRO_NO_FLUID=1``
+   (sampled once per ``build``, mirroring ``REPRO_NO_POOL``) skips
+   fluid compilation entirely: no events, no RNG streams, a
+   byte-identical foreground-only run.
 3. **Routes**: one ``compute_routes()`` pass.
 4. **Flows**, in spec order.  Per flow: sender constructed, receiver
    constructed, sender attached, receiver attached, then the schedule
@@ -35,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.instances import QTPAF, TFRC_MEDIA
+from repro.fluid.source import FluidSource
 from repro.core.profile import ReliabilityMode, TransportProfile
 from repro.core.receiver import QtpReceiver
 from repro.core.sender import QtpSender
@@ -74,9 +83,21 @@ Receiver = Union[QtpReceiver, TcpReceiver]
 #: created and the packet path is untouched.
 TRACE_ENV = "REPRO_TRACE"
 
+#: Kill-switch for the fluid background subsystem (mirrors
+#: ``REPRO_NO_POOL``): with ``REPRO_NO_FLUID=1`` every ``background``
+#: field is ignored at compile time — the scenario runs its declared
+#: packet-level flows only, byte-identical to a spec with no
+#: background at all.  The debugging lever for "is the fluid model the
+#: thing that changed this number?".
+NO_FLUID_ENV = "REPRO_NO_FLUID"
+
 
 def _tracing_requested() -> bool:
     return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+def _fluid_disabled() -> bool:
+    return os.environ.get(NO_FLUID_ENV, "") not in ("", "0")
 
 
 @dataclass
@@ -101,6 +122,9 @@ class BuiltScenario:
         default_factory=dict
     )
     slas: Dict[str, ServiceLevelAgreement] = field(default_factory=dict)
+    #: fluid background sources keyed ``"src->dst"`` (empty unless the
+    #: spec carries ``background`` fields and REPRO_NO_FLUID is unset)
+    fluid_sources: Dict[str, "FluidSource"] = field(default_factory=dict)
     #: the opt-in PacketTracer attached to every link when REPRO_TRACE
     #: was set at build time; None (the default) otherwise
     tracer: Optional[object] = None
@@ -144,6 +168,7 @@ def build(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     """Compile ``spec`` into a ready-to-run scenario (see module doc)."""
     net = Network(sim)
     built = BuiltScenario(spec=spec, net=net)
+    fluid_enabled = not _fluid_disabled()  # sampled once per build
     # 1. nodes: declared order first, then lazily from links
     for name in spec.topology.nodes:
         net.add_node(name)
@@ -175,6 +200,24 @@ def build(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
                 queue=_build_queue(reverse, sim, ls.rate_bps),
                 channel=_build_channel(reverse_channel, sim),
             )
+        # fluid background, after both directions of this link exist:
+        # forward (LinkSpec.background overrides QueueSpec.background),
+        # then reverse (its own queue spec only).  Each FluidSource
+        # schedules its first epoch event at construction, in this
+        # pinned order.
+        if fluid_enabled:
+            forward_bg = (
+                ls.background if ls.background is not None
+                else ls.queue.background
+            )
+            if forward_bg is not None:
+                built.fluid_sources[f"{ls.src}->{ls.dst}"] = FluidSource(
+                    sim, net.link(ls.src, ls.dst), forward_bg
+                )
+            if ls.duplex and reverse.background is not None:
+                built.fluid_sources[f"{ls.dst}->{ls.src}"] = FluidSource(
+                    sim, net.link(ls.dst, ls.src), reverse.background
+                )
     # 3. routes
     net.compute_routes()
     # 4. flows in spec order

@@ -16,6 +16,7 @@ in the same pinned order.
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
 
 from repro.topo.presets import RIO
@@ -54,6 +55,58 @@ def access_star_spec(
 def access_star_endpoints(n_hosts: int) -> Endpoints:
     """The star's natural flow endpoints: each host talks to ``srv``."""
     return tuple((f"h{i}", "srv") for i in range(n_hosts))
+
+
+def random_access_star_spec(
+    n_hosts: int,
+    seed: int,
+    *,
+    bottleneck_bps: float = 20e6,
+    bottleneck_delay: float = 0.02,
+    access_rate_range: Tuple[float, float] = (10e6, 100e6),
+    access_delay_range: Tuple[float, float] = (0.001, 0.02),
+    rng_stream: str = "topo.random_star",
+) -> TopologySpec:
+    """An access star with *sampled* leaf capacities and delays.
+
+    Same shape and pinned link order as :func:`access_star_spec`
+    (bottleneck first, then ``h{i} -> gw`` in host order), but each
+    access link draws its ``rate_bps`` and ``delay`` uniformly from the
+    given ranges — a heterogeneous subscriber edge (DSL next to fiber)
+    instead of the uniform one.  ``access_star_endpoints`` applies
+    unchanged.
+
+    Sampling is a pure function of ``(n_hosts, seed, ranges)``: rates
+    and delays come from two *independent* streams seeded
+    ``random.Random(f"{seed}:{rng_stream}:{substream}")`` (the
+    :func:`repro.traffic.population.expand_population` discipline),
+    each consuming one draw per host in host order — so widening the
+    delay range never reshuffles the sampled rates, and the generated
+    spec is golden-pinned like every other topology.
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    rate_lo, rate_hi = access_rate_range
+    delay_lo, delay_hi = access_delay_range
+    if not 0 < rate_lo <= rate_hi:
+        raise ValueError("access_rate_range must satisfy 0 < lo <= hi")
+    if not 0 < delay_lo <= delay_hi:
+        raise ValueError("access_delay_range must satisfy 0 < lo <= hi")
+    rates_rng = random.Random(f"{seed}:{rng_stream}:rates")
+    delays_rng = random.Random(f"{seed}:{rng_stream}:delays")
+    links: List[LinkSpec] = [
+        LinkSpec("gw", "srv", bottleneck_bps, bottleneck_delay, queue=RIO)
+    ]
+    for i in range(n_hosts):
+        links.append(
+            LinkSpec(
+                f"h{i}",
+                "gw",
+                rates_rng.uniform(rate_lo, rate_hi),
+                delays_rng.uniform(delay_lo, delay_hi),
+            )
+        )
+    return TopologySpec(links=tuple(links))
 
 
 def isp_chain_spec(

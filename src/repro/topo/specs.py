@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.fluid.specs import BackgroundLoadSpec
+
 #: Queue disciplines understood by the compiler.
 QUEUE_KINDS = ("droptail", "red", "rio")
 
@@ -46,6 +48,13 @@ class QueueSpec:
     transmission time of a ``mean_pkt_bytes`` packet at the owning
     link's rate — the convention every T1 scaffold used, now computed
     in one place.
+
+    ``background`` attaches an aggregate fluid cross-traffic model
+    (:class:`repro.fluid.specs.BackgroundLoadSpec`) to every queue
+    instance compiled from this spec — one independent
+    :class:`~repro.fluid.source.FluidSource` per link direction.  A
+    ``LinkSpec.background`` overrides it for that link's forward
+    direction.
     """
 
     kind: str = "droptail"
@@ -66,6 +75,7 @@ class QueueSpec:
     mean_pkt_time: Optional[float] = None
     mean_pkt_bytes: float = 1000.0
     rng_stream: str = "rio"
+    background: Optional[BackgroundLoadSpec] = None
 
     #: Which optional fields each discipline consumes (beyond
     #: ``capacity_packets``); anything else set is a spec typo.
@@ -199,6 +209,13 @@ class LinkSpec:
     ``ChannelSpec(kind="none")`` for a clean reverse direction) —
     matching the historical ``add_duplex_link(channel_factory=...)``
     convention of one independent channel per direction.
+
+    ``background`` attaches aggregate fluid cross traffic
+    (:class:`repro.fluid.specs.BackgroundLoadSpec`) to the *forward*
+    direction, overriding any ``queue.background``; the reverse
+    direction only carries background through its own queue spec
+    (``reverse_queue.background``).  Compiled by ``build()`` in pinned
+    link order; ``REPRO_NO_FLUID=1`` skips compilation entirely.
     """
 
     src: str
@@ -211,6 +228,7 @@ class LinkSpec:
     channel: Optional[ChannelSpec] = None
     reverse_channel: Optional[ChannelSpec] = None
     duplex: bool = True
+    background: Optional[BackgroundLoadSpec] = None
 
 
 @dataclass(frozen=True)

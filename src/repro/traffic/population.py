@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.topo.specs import FlowSpec, MarkerSpec, SlaSpec, TopologySpec
 from repro.traffic.samplers import sample_arrivals, sample_size
@@ -100,6 +100,67 @@ def _pick_class(spec, rng: random.Random, total_weight: float):
         if x < acc:
             return cls
     return spec.classes[-1]
+
+
+def offered_load_profile(
+    flows: Iterable[FlowSpec],
+    epoch: float,
+    horizon: Optional[float] = None,
+    per_flow_rate_bps: Optional[float] = None,
+) -> Tuple[float, ...]:
+    """Bin the flows' offered bytes into per-epoch buckets.
+
+    The population→aggregate derivation behind hybrid fidelity
+    (:mod:`repro.fluid`): each flow's byte budget is deposited along
+    the time axis, either entirely in its arrival epoch (the default)
+    or spread at ``per_flow_rate_bps`` from its start (modeling
+    access-link pacing).  Because the input is the *expanded* flow
+    tuple, the same ``(spec, seed)`` that drives a packet-level run
+    yields exactly the bytes the fluid model offers — that is what the
+    hybrid/packet equivalence tests lean on.
+
+    ``horizon=None`` sizes the profile to cover every deposit; an
+    explicit horizon truncates (late bytes are discarded).  Flows
+    without a ``size_bytes`` budget have no defined offered volume and
+    raise ``ValueError``.
+    """
+    if epoch <= 0:
+        raise ValueError("epoch must be positive")
+    deposits: List[Tuple[float, float, float]] = []  # (start, end, bytes)
+    end_max = 0.0
+    for flow in flows:
+        if flow.size_bytes is None:
+            raise ValueError(
+                f"flow {flow.flow_id!r} has no size_bytes budget; offered "
+                "load is only defined for finite flows"
+            )
+        if per_flow_rate_bps:
+            duration = flow.size_bytes * 8.0 / per_flow_rate_bps
+        else:
+            duration = 0.0
+        deposits.append((flow.start, flow.start + duration, float(flow.size_bytes)))
+        end_max = max(end_max, flow.start + duration)
+    truncate = horizon is not None  # an explicit horizon discards late bytes
+    if horizon is None:
+        horizon = end_max
+    n_bins = max(1, int(horizon / epoch) + 1) if horizon > 0 else 1
+    bins = [0.0] * n_bins
+    for start, end, size in deposits:
+        if truncate and start >= horizon > 0:
+            continue
+        first = int(start / epoch)
+        if end <= start:  # point deposit: all bytes in the arrival epoch
+            if first < n_bins:
+                bins[first] += size
+            continue
+        rate = size / (end - start)  # bytes per second, uniform spread
+        last = min(int(end / epoch), n_bins - 1)
+        for idx in range(first, last + 1):
+            lo = max(start, idx * epoch)
+            hi = min(end, (idx + 1) * epoch)
+            if hi > lo:
+                bins[idx] += rate * (hi - lo)
+    return tuple(bins)
 
 
 def apply_slas(

@@ -121,6 +121,27 @@ class TestResultSetBasics:
         with pytest.raises(KeyError, match="unknown metric"):
             lossy.value("nope", protocol="tcp", seed=0)
 
+    def test_unknown_metric_error_names_the_contract(self, lossy):
+        from repro.api import UnknownMetricError
+
+        with pytest.raises(UnknownMetricError) as exc:
+            lossy.value("nope", protocol="tcp", seed=0)
+        # a typo fails with the declared contract in hand, not with a
+        # bare KeyError: the metric, the scenario, the known names
+        assert exc.value.metric == "nope"
+        assert exc.value.scenario == "lossy_path"
+        assert "goodput_bps" in exc.value.known
+        message = str(exc.value)
+        assert "declared contract" in message
+        assert "'lossy_path'" in message
+        assert not message.startswith('"')  # no KeyError repr-quoting
+
+    def test_aggregate_unknown_metric_raises_contract_error(self, lossy):
+        from repro.api import UnknownMetricError
+
+        with pytest.raises(UnknownMetricError, match="declared contract"):
+            lossy.aggregate("nope", over="seed")
+
     def test_filter_by_param_and_predicate(self, lossy):
         assert len(lossy.filter(protocol="tfrc")) == 2
         assert len(lossy.filter(lambda r: r.params["seed"] == 1)) == 2

@@ -21,9 +21,11 @@ from pathlib import Path
 import pytest
 
 from repro.harness.bench import (
+    FLUID_PROBE_SCENARIOS,
     TOPO_PROBE_SCENARIOS,
     TRAFFIC_PROBE_SCENARIOS,
     engine_trace_probe,
+    fluid_trace_probe,
     network_trace_probe,
     topo_trace_probe,
     traffic_trace_probe,
@@ -94,3 +96,33 @@ def test_traffic_probe_is_repeatable():
     a = traffic_trace_probe("mice_elephants", seed=4, duration=3.0)
     b = traffic_trace_probe("mice_elephants", seed=4, duration=3.0)
     assert a == b
+
+
+@pytest.mark.parametrize("scenario", FLUID_PROBE_SCENARIOS)
+def test_fluid_scenario_trace_matches_golden(goldens, scenario):
+    # pins the PR 10 hybrid-fidelity pipeline end to end: hybridize's
+    # foreground/background split, the fluid epoch model (admission
+    # curve, elastic retry, service-share modulation) and the MMPP
+    # one-draw-per-epoch RNG-stream discipline
+    assert fluid_trace_probe(scenario) == goldens["fluid"][scenario]
+
+
+def test_fluid_probe_is_repeatable():
+    a = fluid_trace_probe("hybrid_flash_crowd", seed=3, duration=3.0)
+    b = fluid_trace_probe("hybrid_flash_crowd", seed=3, duration=3.0)
+    assert a == b
+
+
+def test_fluid_disabled_matches_foreground_only_run(monkeypatch):
+    # REPRO_NO_FLUID=1 must compile the hybrid spec with zero fluid
+    # machinery: same events, same counters as never declaring a
+    # background (the kill-switch contract, mirroring REPRO_NO_POOL)
+    from repro.topo.build import NO_FLUID_ENV
+
+    monkeypatch.setenv(NO_FLUID_ENV, "1")
+    disabled = fluid_trace_probe("mmpp_dumbbell", seed=1, duration=2.0)
+    monkeypatch.delenv(NO_FLUID_ENV)
+    enabled = fluid_trace_probe("mmpp_dumbbell", seed=1, duration=2.0)
+    assert disabled["background"]["sources"] == 0
+    assert enabled["background"]["sources"] == 1
+    assert disabled != enabled

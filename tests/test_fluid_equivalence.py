@@ -1,0 +1,133 @@
+"""Paired hybrid-vs-packet equivalence within documented tolerance bands.
+
+The validation harness for hybrid fidelity (``docs/hybrid.md``): the
+same composed scenario runs once with every flow packet-level and once
+with the population fluidized, and the *foreground* numbers must agree
+within bands measured when the model was calibrated:
+
+===========================  =========  ==========================
+metric                        band       measured (calibration)
+===========================  =========  ==========================
+assured throughput / ratio    10% rel    ~1% (light), ~3% (at floor)
+elephant FCT mean             10% rel    ~1%
+elephant FCT p95              15% rel    ~4%
+completions                   exact      exact
+===========================  =========  ==========================
+
+Tiny populations are noisier (a 12-flow crowd is far from a fluid
+aggregate), so the Hypothesis sweep uses a deliberately loose 0.6x-1.6x
+band — its job is catching regressions that break the coupling entirely,
+not re-verifying calibration.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.experiments.hybrid import (
+    hybrid_flash_crowd_scenario,
+    hybrid_mice_elephants_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def fc_pair():
+    return {
+        fid: hybrid_flash_crowd_scenario(fidelity=fid)
+        for fid in ("packet", "hybrid")
+    }
+
+
+@pytest.fixture(scope="module")
+def me_pair():
+    return {
+        fid: hybrid_mice_elephants_scenario(fidelity=fid)
+        for fid in ("packet", "hybrid")
+    }
+
+
+class TestFlashCrowdEquivalence:
+    def test_assurance_ratio_within_band(self, fc_pair):
+        packet, hybrid = fc_pair["packet"], fc_pair["hybrid"]
+        assert hybrid.ratio == pytest.approx(packet.ratio, rel=0.10)
+
+    def test_assurance_holds_at_both_fidelities(self, fc_pair):
+        assert fc_pair["packet"].ratio >= 1.0
+        assert fc_pair["hybrid"].ratio >= 1.0
+
+    def test_hybrid_processes_fewer_events(self, fc_pair):
+        assert fc_pair["hybrid"].events < fc_pair["packet"].events
+
+    def test_background_contract(self, fc_pair):
+        # packet runs share the metric contract with all-zero background
+        packet, hybrid = fc_pair["packet"], fc_pair["hybrid"]
+        assert packet.bg_offered_bytes == 0.0
+        assert packet.bg_served_bytes == 0.0
+        assert hybrid.bg_offered_bytes > 0.0
+        assert hybrid.bg_served_bytes > 0.0
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            hybrid_flash_crowd_scenario(fidelity="quantum")
+
+
+class TestFlashCrowdSaturated:
+    def test_foreground_protection_under_saturating_crowd(self):
+        # the crowd saturates a 15 Mb/s bottleneck: the packet truth is
+        # the assured flow squeezed near its committed floor, and the
+        # hybrid must land in the same band instead of letting the
+        # foreground keep the whole link (the elastic-claim coupling)
+        kwargs = dict(
+            n_flows=400,
+            peak_rate_per_s=120.0,
+            base_rate_per_s=10.0,
+            bottleneck_bps=15e6,
+        )
+        packet = hybrid_flash_crowd_scenario(fidelity="packet", **kwargs)
+        hybrid = hybrid_flash_crowd_scenario(fidelity="hybrid", **kwargs)
+        assert packet.ratio >= 1.0  # AF assurance survives saturation
+        assert hybrid.ratio >= 1.0
+        assert hybrid.achieved_bps == pytest.approx(
+            packet.achieved_bps, rel=0.15
+        )
+
+
+class TestMiceElephantsEquivalence:
+    def test_elephant_completions_identical(self, me_pair):
+        packet, hybrid = me_pair["packet"], me_pair["hybrid"]
+        assert packet.n_elephants == hybrid.n_elephants
+        assert packet.elephants_completed == hybrid.elephants_completed
+
+    def test_elephant_fct_mean_within_band(self, me_pair):
+        packet, hybrid = me_pair["packet"], me_pair["hybrid"]
+        assert hybrid.elephant_fct_mean_s == pytest.approx(
+            packet.elephant_fct_mean_s, rel=0.10
+        )
+
+    def test_elephant_fct_p95_within_band(self, me_pair):
+        packet, hybrid = me_pair["packet"], me_pair["hybrid"]
+        assert hybrid.elephant_fct_p95_s == pytest.approx(
+            packet.elephant_fct_p95_s, rel=0.15
+        )
+
+    def test_hybrid_processes_fewer_events(self, me_pair):
+        assert me_pair["hybrid"].events < me_pair["packet"].events
+
+
+class TestTinyPopulations:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_hybrid_tracks_packet_on_tiny_crowds(self, seed):
+        kwargs = dict(
+            n_hosts=8,
+            n_flows=12,
+            bottleneck_bps=10e6,
+            target_bps=3e6,
+            duration=4.0,
+            warmup=1.0,
+            seed=seed,
+        )
+        packet = hybrid_flash_crowd_scenario(fidelity="packet", **kwargs)
+        hybrid = hybrid_flash_crowd_scenario(fidelity="hybrid", **kwargs)
+        assert packet.achieved_bps > 0
+        ratio = hybrid.achieved_bps / packet.achieved_bps
+        assert 0.6 <= ratio <= 1.6

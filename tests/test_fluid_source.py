@@ -1,0 +1,213 @@
+"""FluidSource dynamics: conservation, occupancy, floors (Hypothesis).
+
+The fluid model's accounting must be conservative no matter what the
+spec throws at it: every offered byte is served, dropped, queued in the
+backlog or (elastic) pending retransmission.  These properties run the
+source against a real compiled link — no mocking — across random kinds,
+rates, epochs and queue disciplines.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fluid import BackgroundLoadSpec
+from repro.sim.engine import Simulator
+from repro.topo import build
+from repro.topo.specs import (
+    FlowSpec,
+    LinkSpec,
+    QueueSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
+
+QUEUES = {
+    "droptail": QueueSpec(kind="droptail", capacity_packets=50),
+    "red": QueueSpec(kind="red"),
+    "rio": QueueSpec(kind="rio"),
+}
+
+
+def run_source(background, duration, queue="rio", seed=0, flows=()):
+    spec = ScenarioSpec(
+        name="fluid_micro",
+        topology=TopologySpec(
+            links=(
+                LinkSpec(
+                    "a",
+                    "b",
+                    rate_bps=10e6,
+                    delay=0.01,
+                    queue=QUEUES[queue],
+                    background=background,
+                ),
+            )
+        ),
+        flows=flows,
+    )
+    sim = Simulator(seed=seed)
+    built = build(sim, spec)
+    sim.run(until=duration)
+    (source,) = built.fluid_sources.values()
+    return sim, built, source
+
+
+def assert_conservation(source):
+    s = source.summary()
+    balance = (
+        s["served_bytes"]
+        + s["dropped_bytes"]
+        + s["backlog_bytes"]
+        + s["pending_bytes"]
+    )
+    assert s["offered_bytes"] == pytest.approx(balance, rel=1e-9, abs=1e-6)
+
+
+def background_specs():
+    common = {
+        "epoch": st.floats(min_value=0.02, max_value=0.1),
+        "mean_pkt_bytes": st.floats(min_value=200.0, max_value=2000.0),
+        "min_foreground_share": st.floats(min_value=0.05, max_value=0.95),
+        "elastic": st.booleans(),
+    }
+    constant = st.builds(
+        BackgroundLoadSpec,
+        kind=st.just("constant"),
+        rate_bps=st.floats(min_value=0.0, max_value=20e6),
+        **common,
+    )
+    mmpp = st.builds(
+        BackgroundLoadSpec,
+        kind=st.just("mmpp"),
+        rate_low_bps=st.floats(min_value=0.0, max_value=2e6),
+        rate_high_bps=st.floats(min_value=0.0, max_value=20e6),
+        mean_low_s=st.floats(min_value=0.05, max_value=1.0),
+        mean_high_s=st.floats(min_value=0.05, max_value=1.0),
+        **common,
+    )
+    population = st.builds(
+        BackgroundLoadSpec,
+        kind=st.just("population"),
+        profile=st.lists(
+            st.floats(min_value=0.0, max_value=100_000.0),
+            min_size=1,
+            max_size=40,
+        ).map(tuple),
+        **common,
+    )
+    return st.one_of(constant, mmpp, population)
+
+
+class TestInvariants:
+    @given(
+        background=background_specs(),
+        queue=st.sampled_from(sorted(QUEUES)),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_byte_conservation_and_nonnegative_state(
+        self, background, queue, seed
+    ):
+        _, built, source = run_source(background, 2.0, queue=queue, seed=seed)
+        assert_conservation(source)
+        s = source.summary()
+        assert s["offered_bytes"] >= 0.0
+        assert s["served_bytes"] >= 0.0
+        assert s["dropped_bytes"] >= 0.0
+        assert s["backlog_bytes"] >= 0.0
+        assert s["pending_bytes"] >= 0.0
+        assert s["peak_backlog_bytes"] >= s["backlog_bytes"] - 1e-9
+        assert source.queue.fluid_pkts >= 0
+        # the foreground's guaranteed service floor always holds
+        floor = source.base_rate_bps * background.min_foreground_share
+        assert source.link.rate_bps >= floor - 1e-9
+        assert source.link.rate_bps <= source.base_rate_bps + 1e-9
+
+    @given(
+        profile=st.lists(
+            st.floats(min_value=0.0, max_value=50_000.0),
+            min_size=1,
+            max_size=30,
+        ).map(tuple),
+        epoch=st.floats(min_value=0.02, max_value=0.1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_population_offers_exactly_its_profile(self, profile, epoch):
+        # offered-load conservation across epochs: once the profile is
+        # consumed, the source has offered exactly its binned bytes
+        background = BackgroundLoadSpec(
+            kind="population", profile=profile, epoch=epoch
+        )
+        duration = epoch * (len(profile) + 5)
+        _, built, source = run_source(background, duration)
+        assert source.offered_bytes == pytest.approx(
+            sum(profile), rel=1e-9, abs=1e-6
+        )
+        assert_conservation(source)
+
+    def test_population_self_stop_restores_link(self):
+        background = BackgroundLoadSpec(
+            kind="population", profile=(40_000.0, 40_000.0), epoch=0.05
+        )
+        _, built, source = run_source(background, 3.0)
+        assert not source.active
+        assert source.queue.fluid_pkts == 0
+        assert source.link.rate_bps == source.base_rate_bps
+
+    def test_stop_time_restores_link(self):
+        background = BackgroundLoadSpec(
+            kind="constant", rate_bps=8e6, stop=1.0
+        )
+        _, built, source = run_source(background, 3.0)
+        assert not source.active
+        assert source.queue.fluid_pkts == 0
+        assert source.link.rate_bps == source.base_rate_bps
+
+    def test_elastic_retries_instead_of_dropping(self):
+        # demand far over capacity: the inelastic aggregate loses bytes,
+        # the elastic one keeps them pending/backlogged
+        inelastic = BackgroundLoadSpec(kind="constant", rate_bps=40e6)
+        _, _, src_i = run_source(inelastic, 2.0)
+        assert src_i.dropped_bytes > 0
+        elastic = BackgroundLoadSpec(
+            kind="constant", rate_bps=40e6, elastic=True
+        )
+        _, _, src_e = run_source(elastic, 2.0)
+        assert src_e.dropped_bytes == 0.0
+        assert src_e.pending_bytes + src_e.backlog_bytes > 0
+        assert_conservation(src_e)
+
+    def test_conservation_with_packet_foreground(self):
+        # the interesting case: a real TCP foreground perturbs residual
+        # capacity every epoch, and the books must still balance
+        background = BackgroundLoadSpec(
+            kind="constant", rate_bps=6e6, elastic=True
+        )
+        flow = FlowSpec("fg", "a", "b", transport="tcp")
+        _, built, source = run_source(background, 4.0, flows=(flow,))
+        assert source.served_bytes > 0
+        assert built.recorder("fg").delivered_bytes > 0
+        assert_conservation(source)
+
+
+class TestDeterminism:
+    def test_mmpp_repeatable_and_seed_sensitive(self):
+        background = BackgroundLoadSpec(
+            kind="mmpp",
+            rate_low_bps=1e6,
+            rate_high_bps=9e6,
+            mean_low_s=0.2,
+            mean_high_s=0.2,
+        )
+        a = run_source(background, 3.0, seed=1)[2].summary()
+        b = run_source(background, 3.0, seed=1)[2].summary()
+        c = run_source(background, 3.0, seed=2)[2].summary()
+        assert a == b
+        assert a != c
+
+    def test_non_mmpp_kinds_never_touch_the_rng_stream(self):
+        # named-stream discipline: deterministic kinds must not even
+        # create the stream, or they would shift later consumers
+        background = BackgroundLoadSpec(kind="constant", rate_bps=5e6)
+        sim, _, _ = run_source(background, 1.0)
+        assert background.rng_stream not in sim._rngs

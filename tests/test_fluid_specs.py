@@ -1,0 +1,214 @@
+"""BackgroundLoadSpec validation and population -> background derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fluid import BACKGROUND_KINDS, BackgroundLoadSpec, hybridize
+from repro.fluid.derive import _class_of, background_from_population
+from repro.harness.experiments.flash_crowd import (
+    flash_crowd_population,
+    flash_crowd_spec,
+)
+from repro.topo.specs import FlowSpec
+from repro.traffic.population import offered_load_profile
+
+
+class TestSpecValidation:
+    def test_kinds_constant(self):
+        assert BACKGROUND_KINDS == ("constant", "mmpp", "population")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown background kind"):
+            BackgroundLoadSpec(kind="sawtooth")
+
+    def test_constant_requires_rate(self):
+        with pytest.raises(ValueError, match="rate_bps"):
+            BackgroundLoadSpec(kind="constant")
+        with pytest.raises(ValueError, match="rate_bps"):
+            BackgroundLoadSpec(kind="constant", rate_bps=-1.0)
+
+    def test_stray_parameters_rejected(self):
+        # the QueueSpec convention: a tunable the kind does not consume
+        # is an error, never silently ignored
+        with pytest.raises(ValueError, match="does not use"):
+            BackgroundLoadSpec(kind="constant", rate_bps=1e6, profile=(1.0,))
+        with pytest.raises(ValueError, match="does not use"):
+            BackgroundLoadSpec(
+                kind="population", profile=(1.0,), rate_high_bps=1e6
+            )
+
+    def test_mmpp_requires_dwell_and_high_rate(self):
+        with pytest.raises(ValueError, match="mmpp background requires"):
+            BackgroundLoadSpec(kind="mmpp", rate_high_bps=1e6)
+        with pytest.raises(ValueError, match="dwell"):
+            BackgroundLoadSpec(
+                kind="mmpp",
+                rate_high_bps=1e6,
+                mean_low_s=0.0,
+                mean_high_s=0.5,
+            )
+
+    def test_mmpp_low_rate_defaults_to_silent(self):
+        spec = BackgroundLoadSpec(
+            kind="mmpp", rate_high_bps=1e6, mean_low_s=0.5, mean_high_s=0.5
+        )
+        assert spec.rate_low_bps is None  # source treats None as 0.0
+
+    def test_population_requires_profile(self):
+        with pytest.raises(ValueError, match="profile"):
+            BackgroundLoadSpec(kind="population")
+        with pytest.raises(ValueError, match="non-negative"):
+            BackgroundLoadSpec(kind="population", profile=(100.0, -1.0))
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"epoch": 0.0}, "epoch"),
+            ({"start": -1.0}, "start"),
+            ({"stop": 0.0, "start": 1.0}, "stop"),
+            ({"mean_pkt_bytes": 0.0}, "mean_pkt_bytes"),
+            ({"min_foreground_share": 0.0}, "min_foreground_share"),
+            ({"min_foreground_share": 1.5}, "min_foreground_share"),
+            ({"buffer_packets": -2}, "buffer_packets"),
+        ],
+    )
+    def test_common_knob_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            BackgroundLoadSpec(kind="constant", rate_bps=1e6, **kwargs)
+
+
+def _finite_flows(sizes_and_starts):
+    return tuple(
+        FlowSpec(
+            f"bg{i}",
+            "a",
+            "b",
+            transport="tcp",
+            start=start,
+            size_bytes=size,
+        )
+        for i, (size, start) in enumerate(sizes_and_starts)
+    )
+
+
+class TestOfferedLoadProfile:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=500_000),
+                st.floats(min_value=0.0, max_value=20.0),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_point_deposits_conserve_bytes(self, sizes_and_starts, epoch):
+        flows = _finite_flows(sizes_and_starts)
+        profile = offered_load_profile(flows, epoch)
+        total = sum(size for size, _ in sizes_and_starts)
+        assert sum(profile) == pytest.approx(total, rel=1e-9)
+        assert all(b >= 0.0 for b in profile)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=500_000),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.floats(min_value=0.02, max_value=0.2),
+        st.floats(min_value=50e3, max_value=5e6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_paced_deposits_conserve_bytes(
+        self, sizes_and_starts, epoch, pace
+    ):
+        flows = _finite_flows(sizes_and_starts)
+        profile = offered_load_profile(flows, epoch, per_flow_rate_bps=pace)
+        total = sum(size for size, _ in sizes_and_starts)
+        assert sum(profile) == pytest.approx(total, rel=1e-9)
+        assert all(b >= 0.0 for b in profile)
+
+    def test_unbounded_flow_rejected(self):
+        flow = FlowSpec("bulk", "a", "b", transport="tcp")
+        with pytest.raises(ValueError, match="size_bytes"):
+            offered_load_profile((flow,), 0.05)
+
+    def test_horizon_truncates(self):
+        flows = _finite_flows([(1000, 0.0), (2000, 5.0)])
+        profile = offered_load_profile(flows, 0.1, horizon=1.0)
+        assert sum(profile) == pytest.approx(1000.0)
+
+
+class TestDerive:
+    def test_class_of_longest_match_wins(self):
+        assert _class_of("mice12", {"mice", "mice1"}) == "mice1"
+        assert _class_of("mice12", {"mice"}) == "mice"
+        assert _class_of("other3", {"mice"}) is None
+
+    def test_background_from_population_unknown_class(self):
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        with pytest.raises(ValueError, match="no class"):
+            background_from_population(population, 0, classes=("rat",))
+
+    def test_background_from_population_is_elastic_by_default(self):
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        bg = background_from_population(population, 0)
+        assert bg.kind == "population"
+        assert bg.elastic is True
+        assert sum(bg.profile) > 0
+
+    def test_hybridize_splits_foreground_and_background(self):
+        spec = flash_crowd_spec("gtfrc", 4e6, n_hosts=8, n_flows=6, seed=1)
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        hybrid = hybridize(spec, population, seed=1)
+        # only the declared (non-population) foreground flow survives
+        assert [f.flow_id for f in hybrid.flows] == ["assured"]
+        bottleneck = [
+            ls for ls in hybrid.topology.links if ls.background is not None
+        ]
+        assert len(bottleneck) == 1
+        assert bottleneck[0].queue.kind == "rio"
+        # demand is byte-identical to the packet-level population
+        expected = sum(
+            f.size_bytes for f in spec.flows if f.flow_id != "assured"
+        )
+        assert sum(bottleneck[0].background.profile) == pytest.approx(expected)
+
+    def test_hybridize_derives_foreground_floor_from_committed_rates(self):
+        spec = flash_crowd_spec(
+            "gtfrc", 4e6, n_hosts=8, n_flows=6, bottleneck_bps=20e6, seed=1
+        )
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        hybrid = hybridize(spec, population, seed=1)
+        bg = next(
+            ls.background
+            for ls in hybrid.topology.links
+            if ls.background is not None
+        )
+        assert bg.min_foreground_share == pytest.approx(4e6 / 20e6 + 0.05)
+
+    def test_hybridize_without_population_flows_refuses(self):
+        from dataclasses import replace as d_replace
+
+        spec = flash_crowd_spec("gtfrc", 4e6, n_hosts=8, n_flows=6, seed=1)
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        foreground_only = d_replace(spec, flows=(spec.flows[0],))
+        with pytest.raises(ValueError, match="nothing to hybridize"):
+            hybridize(foreground_only, population, seed=1)
+
+    def test_hybridize_unknown_attach_point(self):
+        spec = flash_crowd_spec("gtfrc", 4e6, n_hosts=8, n_flows=6, seed=1)
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        with pytest.raises(ValueError, match="not in the topology"):
+            hybridize(spec, population, seed=1, at=[("gw", "nowhere")])
+
+    def test_hybridize_unknown_background_class(self):
+        spec = flash_crowd_spec("gtfrc", 4e6, n_hosts=8, n_flows=6, seed=1)
+        population = flash_crowd_population(n_hosts=8, n_flows=6)
+        with pytest.raises(ValueError, match="no class"):
+            hybridize(spec, population, seed=1, background_classes=("rat",))

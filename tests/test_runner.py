@@ -507,6 +507,26 @@ class TestCli:
         assert code == 2
         assert "two invocations" in capsys.readouterr().err
 
+    def test_bench_check_rejects_malformed_record(self, capsys, tmp_path):
+        # a hand-edited/truncated record must fail before the (slow)
+        # measurement run, with a message naming the remedy
+        path = tmp_path / "bench.json"
+        path.write_text('{"schema": 1, "suite": [], "current": {}}')
+        code = cli_main(["bench", "--check", "--output", str(path)])
+        assert code == 2
+        assert "no current-metrics section" in capsys.readouterr().err
+
+    def test_check_regression_flags_malformed_entries(self):
+        from repro.harness import bench as bench_mod
+
+        committed = {
+            "current": {"metrics": {"engine_events": "oops"}}
+        }
+        fresh = {"engine_events": {"rate": 1.0, "seconds": 1.0}}
+        failures = bench_mod.check_regression(committed, fresh)
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
+
     def test_bench_update_current_tolerates_null_baseline(self, tmp_path):
         # a record written before any baseline exists stores
         # "baseline": null; a later write must not crash on it

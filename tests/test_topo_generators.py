@@ -12,6 +12,7 @@ from repro.topo import (
     fat_tree_spec,
     isp_chain_endpoints,
     isp_chain_spec,
+    random_access_star_spec,
 )
 from repro.topo.specs import FlowSpec
 
@@ -40,6 +41,61 @@ class TestAccessStar:
 
     def test_generated_spec_is_deterministic(self):
         assert access_star_spec(5) == access_star_spec(5)
+
+
+class TestRandomAccessStar:
+    def test_same_shape_and_pinned_order_as_uniform_star(self):
+        spec = random_access_star_spec(3, seed=1)
+        assert [(l.src, l.dst) for l in spec.links] == [
+            ("gw", "srv"), ("h0", "gw"), ("h1", "gw"), ("h2", "gw"),
+        ]
+        assert spec.links[0].queue.kind == "rio"
+
+    def test_sampled_links_stay_in_range(self):
+        spec = random_access_star_spec(
+            20,
+            seed=7,
+            access_rate_range=(5e6, 50e6),
+            access_delay_range=(0.002, 0.01),
+        )
+        rates = [l.rate_bps for l in spec.links[1:]]
+        delays = [l.delay for l in spec.links[1:]]
+        assert all(5e6 <= r <= 50e6 for r in rates)
+        assert all(0.002 <= d <= 0.01 for d in delays)
+        # actually heterogeneous, not a constant draw
+        assert len(set(rates)) > 1
+        assert len(set(delays)) > 1
+
+    def test_pure_function_of_seed(self):
+        assert random_access_star_spec(5, seed=3) == random_access_star_spec(
+            5, seed=3
+        )
+        assert random_access_star_spec(5, seed=3) != random_access_star_spec(
+            5, seed=4
+        )
+
+    def test_independent_streams_for_rates_and_delays(self):
+        # widening the delay range must not reshuffle the sampled rates
+        a = random_access_star_spec(6, seed=2)
+        b = random_access_star_spec(
+            6, seed=2, access_delay_range=(0.001, 0.2)
+        )
+        assert [l.rate_bps for l in a.links] == [l.rate_bps for l in b.links]
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError, match="access_rate_range"):
+            random_access_star_spec(3, seed=0, access_rate_range=(5e6, 1e6))
+        with pytest.raises(ValueError, match="access_delay_range"):
+            random_access_star_spec(
+                3, seed=0, access_delay_range=(0.0, 0.01)
+            )
+        with pytest.raises(ValueError, match="at least one host"):
+            random_access_star_spec(0, seed=0)
+
+    def test_star_endpoints_apply(self):
+        spec = random_access_star_spec(3, seed=1)
+        hosts = {l.src for l in spec.links[1:]}
+        assert {src for src, _ in access_star_endpoints(3)} == hosts
 
 
 class TestIspChain:
